@@ -1,0 +1,71 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace coloc::bench {
+
+HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
+  HarnessConfig config;
+  config.partitions = static_cast<std::size_t>(
+      args.get_int("partitions", static_cast<std::int64_t>(config.partitions)));
+  config.nn_iterations = static_cast<std::size_t>(args.get_int(
+      "nn-iters", static_cast<std::int64_t>(config.nn_iterations)));
+  config.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(config.seed)));
+  config.quick = args.get_bool("quick", false);
+  if (config.quick) {
+    config.partitions = std::min<std::size_t>(config.partitions, 3);
+    config.nn_iterations = std::min<std::size_t>(config.nn_iterations, 200);
+  }
+  return config;
+}
+
+core::EvaluationConfig HarnessConfig::evaluation() const {
+  core::EvaluationConfig eval;
+  eval.validation.partitions = partitions;
+  eval.validation.holdout_fraction = 0.3;  // paper: 30% withheld
+  eval.zoo.mlp.max_iterations = nn_iterations;
+  eval.zoo.mlp.weight_decay = 1e-6;
+  eval.zoo.mlp.restarts = 1;
+  return eval;
+}
+
+MachineExperiment::MachineExperiment(sim::MachineConfig machine,
+                                     const HarnessConfig& config)
+    : config_(config), machine_(std::move(machine)),
+      simulator_(machine_, &library_,
+                 sim::MeasurementOptions{.seed = config.seed}) {
+  COLOC_LOG_INFO << "profiling application traces for " << machine_.name;
+  core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
+  if (config_.quick) {
+    campaign_config.pstate_indices = {0,
+                                      machine_.pstates.size() - 1};
+  }
+  library_.profile_all(campaign_config.targets);
+  COLOC_LOG_INFO << "running Table V collection campaign on "
+                 << machine_.name;
+  campaign_ = core::run_campaign(simulator_, campaign_config);
+  COLOC_LOG_INFO << "collected " << campaign_.dataset.num_rows()
+                 << " co-location measurements";
+}
+
+core::EvaluationSuite MachineExperiment::evaluate(
+    std::optional<core::ModelId> collect_for) const {
+  return core::evaluate_model_zoo(campaign_.dataset, config_.evaluation(),
+                                  collect_for);
+}
+
+void MachineExperiment::print_figure(const std::string& title,
+                                     core::Metric metric) const {
+  const core::EvaluationSuite suite = evaluate();
+  const auto series = core::build_figure_series(suite, metric);
+  std::printf("%s\n", core::render_figure(title, series).c_str());
+  std::printf(
+      "(averaged over %zu random 70/30 partitions; paper protocol uses "
+      "--partitions=100)\n",
+      config_.partitions);
+}
+
+}  // namespace coloc::bench

@@ -1,0 +1,57 @@
+// Shared plumbing for the experiment harnesses: every bench binary
+// regenerates one table or figure of the paper. Common CLI flags:
+//   --partitions=N   validation partitions (default 10; paper uses 100)
+//   --nn-iters=N     SCG iterations per network (default 1500)
+//   --seed=N         master seed for the simulated testbed noise
+//   --quick          tiny configuration for smoke runs
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/cli.hpp"
+#include "core/methodology.hpp"
+#include "core/report.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::bench {
+
+struct HarnessConfig {
+  std::size_t partitions = 10;
+  std::size_t nn_iterations = 1500;
+  std::uint64_t seed = 99;
+  bool quick = false;
+
+  static HarnessConfig from_cli(const CliArgs& args);
+
+  core::EvaluationConfig evaluation() const;
+};
+
+/// One machine's full pipeline: MRC profiling, Table V campaign, and the
+/// 12-model evaluation suite. Construction runs the campaign.
+class MachineExperiment {
+ public:
+  MachineExperiment(sim::MachineConfig machine, const HarnessConfig& config);
+
+  const sim::MachineConfig& machine() const { return machine_; }
+  const core::CampaignResult& campaign() const { return campaign_; }
+  sim::Simulator& simulator() { return simulator_; }
+
+  /// Evaluates all twelve models (optionally retaining one model's
+  /// held-out predictions for Figure 5b).
+  core::EvaluationSuite evaluate(
+      std::optional<core::ModelId> collect_for = std::nullopt) const;
+
+  /// Prints one figure (Figures 1-4): the metric across sets A-F for both
+  /// techniques, training and testing error.
+  void print_figure(const std::string& title, core::Metric metric) const;
+
+ private:
+  HarnessConfig config_;
+  sim::MachineConfig machine_;
+  sim::AppMrcLibrary library_;
+  sim::Simulator simulator_;
+  core::CampaignResult campaign_;
+};
+
+}  // namespace coloc::bench

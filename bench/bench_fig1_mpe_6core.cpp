@@ -1,0 +1,13 @@
+// Regenerates Figure 1: MPE of all twelve models (linear & neural network,
+// feature sets A-F), training and testing error, on the 6-core Xeon E5649.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coloc;
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  bench::MachineExperiment experiment(sim::xeon_e5649(), config);
+  experiment.print_figure(
+      "Figure 1: MPE vs feature set, 6-core Xeon E5649", core::Metric::kMpe);
+  return 0;
+}

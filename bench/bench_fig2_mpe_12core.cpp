@@ -1,0 +1,14 @@
+// Regenerates Figure 2: MPE of all twelve models on the 12-core
+// Xeon E5-2697 v2.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coloc;
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  bench::MachineExperiment experiment(sim::xeon_e5_2697v2(), config);
+  experiment.print_figure(
+      "Figure 2: MPE vs feature set, 12-core Xeon E5-2697 v2",
+      core::Metric::kMpe);
+  return 0;
+}

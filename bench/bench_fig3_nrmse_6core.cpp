@@ -1,0 +1,14 @@
+// Regenerates Figure 3: NRMSE of all twelve models on the 6-core
+// Xeon E5649.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace coloc;
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  bench::MachineExperiment experiment(sim::xeon_e5649(), config);
+  experiment.print_figure(
+      "Figure 3: NRMSE vs feature set, 6-core Xeon E5649",
+      core::Metric::kNrmse);
+  return 0;
+}

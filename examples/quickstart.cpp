@@ -1,0 +1,68 @@
+// Quickstart: the whole methodology in ~60 lines.
+//
+//   1. Describe a machine and a pair of applications.
+//   2. Profile each application ONCE, alone (baseline times + counters).
+//   3. Collect a small training campaign and train a predictor.
+//   4. Ask: "how much slower will `canneal` run next to four copies of
+//      `cg` at the highest P-state?" — and check against the simulator.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/methodology.hpp"
+
+int main() {
+  using namespace coloc;
+
+  // 1. The machine: the paper's 6-core Xeon E5649 preset.
+  const sim::MachineConfig machine = sim::xeon_e5649();
+  sim::AppMrcLibrary library;
+  sim::Simulator testbed(machine, &library);
+
+  // 2. Applications from the bundled 11-app PARSEC/NAS-style suite.
+  const sim::ApplicationSpec canneal = sim::find_application("canneal");
+  const sim::ApplicationSpec cg = sim::find_application("cg");
+
+  // 3. Training campaign (Table V sweep) + model training.
+  std::printf("collecting training campaign on %s...\n",
+              machine.name.c_str());
+  const core::CampaignConfig campaign_config =
+      core::CampaignConfig::paper_defaults();
+  library.profile_all(campaign_config.targets);
+  const core::CampaignResult campaign =
+      core::run_campaign(testbed, campaign_config);
+  std::printf("  %zu measurements collected\n", campaign.total_runs);
+
+  core::ModelZooOptions zoo;
+  zoo.mlp.max_iterations = 1200;
+  const core::ColocationPredictor predictor =
+      core::ColocationPredictor::train(
+          campaign.dataset,
+          {core::ModelTechnique::kNeuralNetwork, core::FeatureSet::kF},
+          zoo);
+
+  // 4. Predict, then validate against a fresh simulated measurement.
+  const core::BaselineProfile& target = campaign.baselines.at("canneal");
+  const core::BaselineProfile& co = campaign.baselines.at("cg");
+  const std::vector<const core::BaselineProfile*> four_cg(4, &co);
+  const std::size_t pstate = 0;
+
+  const double predicted_s = predictor.predict_time(target, four_cg, pstate);
+  const double predicted_slowdown =
+      predictor.predict_slowdown(target, four_cg, pstate);
+
+  const sim::RunMeasurement actual = testbed.run_colocated(
+      canneal, std::vector<sim::ApplicationSpec>(4, cg), pstate,
+      /*repetition=*/7);
+
+  std::printf("\ncanneal next to 4x cg at %.2f GHz:\n",
+              machine.pstates[pstate].frequency_ghz);
+  std::printf("  baseline time        : %7.1f s\n", target.time_at(pstate));
+  std::printf("  predicted time       : %7.1f s  (slowdown %.2fx)\n",
+              predicted_s, predicted_slowdown);
+  std::printf("  measured time        : %7.1f s\n", actual.execution_time_s);
+  std::printf("  prediction error     : %6.2f %%\n",
+              100.0 * (predicted_s - actual.execution_time_s) /
+                  actual.execution_time_s);
+  return 0;
+}

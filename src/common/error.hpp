@@ -1,0 +1,51 @@
+// Error-handling primitives shared by all coloc modules.
+//
+// We deliberately use exceptions for contract violations at API boundaries
+// (bad configuration, dimension mismatches) and COLOC_ASSERT for internal
+// invariants that indicate a programming error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace coloc {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an operation cannot proceed because of runtime state
+/// (e.g. a singular system, a failed fixed point, unavailable hardware).
+class runtime_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "COLOC_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw coloc::runtime_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace coloc
+
+/// Validates a runtime condition; throws coloc::runtime_error on failure.
+/// Active in all build types: these guard data integrity, not hot loops.
+#define COLOC_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::coloc::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define COLOC_CHECK_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::coloc::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,44 @@
+// Tiny leveled logger. Thread-safe; writes to stderr so experiment stdout
+// (tables, series, CSV) stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace coloc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a message at the given level (no-op if below the threshold).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace coloc
+
+#define COLOC_LOG_DEBUG ::coloc::detail::LogLine(::coloc::LogLevel::kDebug)
+#define COLOC_LOG_INFO ::coloc::detail::LogLine(::coloc::LogLevel::kInfo)
+#define COLOC_LOG_WARN ::coloc::detail::LogLine(::coloc::LogLevel::kWarn)
+#define COLOC_LOG_ERROR ::coloc::detail::LogLine(::coloc::LogLevel::kError)

@@ -1,0 +1,175 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coloc {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) {
+  COLOC_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  COLOC_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  COLOC_CHECK(!sorted.empty());
+  COLOC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = copy.front();
+  s.max = copy.back();
+  s.q25 = quantile_sorted(copy, 0.25);
+  s.median = quantile_sorted(copy, 0.50);
+  s.q75 = quantile_sorted(copy, 0.75);
+  return s;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " q25=" << q25 << " med=" << median << " q75=" << q75
+     << " max=" << max;
+  return os.str();
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  COLOC_CHECK_MSG(xs.size() == ys.size(), "correlation needs equal lengths");
+  COLOC_CHECK_MSG(xs.size() >= 2, "correlation needs at least two samples");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Histogram Histogram::build(std::span<const double> xs, double lo, double hi,
+                           std::size_t bins) {
+  COLOC_CHECK_MSG(bins > 0, "histogram needs at least one bin");
+  COLOC_CHECK_MSG(hi > lo, "histogram range must be nonempty");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double x : xs) {
+    double idx = (x - lo) * scale;
+    std::size_t b = idx <= 0.0 ? 0
+                    : idx >= static_cast<double>(bins)
+                        ? bins - 1
+                        : static_cast<std::size_t>(idx);
+    ++h.counts[b];
+  }
+  return h;
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (auto c : counts) t += c;
+  return t;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  const double bin_w =
+      (hi - lo) / static_cast<double>(counts.empty() ? 1 : counts.size());
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double left = lo + static_cast<double>(b) * bin_w;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << left << ", " << (left + bin_w) << ") ";
+    const std::size_t bar = counts[b] * width / peak;
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << "  " << counts[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace coloc

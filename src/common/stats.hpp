@@ -1,0 +1,80 @@
+// Descriptive statistics used by the evaluation harness and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coloc {
+
+/// One-pass accumulator (Welford) for mean/variance plus min/max tracking.
+/// Usable incrementally, e.g. while streaming simulation results.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+
+  std::string to_string() const;
+};
+
+double mean(std::span<const double> xs);
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Copies + sorts internally.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile over data the caller has already sorted ascending.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+Summary summarize(std::span<const double> xs);
+
+/// Pearson correlation of two equal-length samples.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the edge buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  static Histogram build(std::span<const double> xs, double lo, double hi,
+                         std::size_t bins);
+  std::size_t total() const;
+  /// Renders a compact ASCII bar chart (one line per bucket).
+  std::string render(std::size_t width = 40) const;
+};
+
+}  // namespace coloc

@@ -1,0 +1,96 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coloc {
+
+void TextTable::set_columns(std::vector<std::string> names,
+                            std::vector<Align> aligns) {
+  COLOC_CHECK_MSG(rows_.empty(), "set_columns must precede add_row");
+  columns_ = std::move(names);
+  if (aligns.empty()) {
+    aligns_.assign(columns_.size(), Align::kRight);
+    if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+  } else {
+    COLOC_CHECK_MSG(aligns.size() == columns_.size(),
+                    "alignment count must match column count");
+    aligns_ = std::move(aligns);
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  COLOC_CHECK_MSG(cells.size() == columns_.size(),
+                  "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num(std::size_t v) { return std::to_string(v); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(columns_.size(), 0);
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto render_cell = [&](const std::string& s, std::size_t c) {
+    std::string out;
+    const std::size_t pad = widths[c] - s.size();
+    if (aligns_[c] == Align::kRight) out.append(pad, ' ');
+    out += s;
+    if (aligns_[c] == Align::kLeft) out.append(pad, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 3;
+  if (!title_.empty()) {
+    os << title_ << "\n";
+    os << std::string(std::max<std::size_t>(total, title_.size()), '=')
+       << "\n";
+  }
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << " | ";
+    os << render_cell(columns_[c], c);
+  }
+  os << "\n";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << " | ";
+      os << render_cell(row[c], c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << render() << "\n"; }
+
+std::string render_series(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::ostringstream os;
+  os << label << ":";
+  os << std::fixed << std::setprecision(precision);
+  for (double v : values) os << " " << v;
+  return os.str();
+}
+
+}  // namespace coloc

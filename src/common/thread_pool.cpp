@@ -1,0 +1,79 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace coloc {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk) {
+  if (n == 0) return;
+  if (chunk == 0) {
+    // Aim for ~4 chunks per worker to balance load without much overhead.
+    chunk = std::max<std::size_t>(1, n / (pool.size() * 4));
+  }
+  std::vector<std::future<void>> futures;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  for (std::size_t start = 0; start < n; start += chunk) {
+    const std::size_t end = std::min(n, start + chunk);
+    futures.push_back(pool.submit([&, start, end] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        for (std::size_t i = start; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace coloc

@@ -1,0 +1,66 @@
+// Fixed-size thread pool plus a blocking parallel_for.
+//
+// The bootstrap validation harness trains 100 model partitions per feature
+// set; these are embarrassingly parallel and scheduled through this pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace coloc {
+
+/// A minimal task-queue thread pool. Tasks are std::function<void()>;
+/// submit() returns a future for completion/exception propagation.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future rethrows any task exception.
+  template <typename F>
+  std::future<void> submit(F&& f) {
+    auto task =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across the pool, blocking until all
+/// iterations finish. Iterations are chunked to limit scheduling overhead.
+/// The first exception thrown by any iteration is rethrown to the caller
+/// after all chunks complete.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t chunk = 0);
+
+/// Convenience: shared process-wide pool sized to hardware concurrency.
+ThreadPool& global_pool();
+
+}  // namespace coloc

@@ -1,0 +1,101 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coloc::core {
+
+CampaignConfig CampaignConfig::paper_defaults() {
+  CampaignConfig config;
+  config.targets = sim::benchmark_suite();
+  for (const std::string& name : sim::training_coapp_names())
+    config.coapps.push_back(sim::find_application(name));
+  return config;
+}
+
+std::string CampaignResult::make_tag(const std::string& target,
+                                     const std::string& coapp,
+                                     std::size_t count, std::size_t pstate) {
+  return target + "|" + coapp + "|x" + std::to_string(count) + "|p" +
+         std::to_string(pstate);
+}
+
+std::string CampaignResult::tag_target(const std::string& tag) {
+  const auto bar = tag.find('|');
+  return bar == std::string::npos ? tag : tag.substr(0, bar);
+}
+
+CampaignResult run_campaign(sim::Simulator& simulator,
+                            const CampaignConfig& config) {
+  COLOC_CHECK_MSG(!config.targets.empty(), "campaign needs target apps");
+  COLOC_CHECK_MSG(!config.coapps.empty(), "campaign needs co-runner apps");
+
+  const sim::MachineConfig& machine = simulator.machine();
+
+  std::vector<std::size_t> counts = config.colocation_counts;
+  if (counts.empty()) {
+    for (std::size_t c = 1; c < machine.cores; ++c) counts.push_back(c);
+  }
+  for (std::size_t c : counts) {
+    COLOC_CHECK_MSG(c + 1 <= machine.cores,
+                    "co-location count exceeds available cores");
+  }
+
+  std::vector<std::size_t> pstates = config.pstate_indices;
+  if (pstates.empty()) {
+    for (std::size_t p = 0; p < machine.pstates.size(); ++p)
+      pstates.push_back(p);
+  }
+
+  CampaignResult result;
+  result.dataset = ml::Dataset(feature_names(), "colocExTime");
+
+  // Baselines for every application that appears as target or co-runner.
+  std::vector<sim::ApplicationSpec> all_apps = config.targets;
+  for (const auto& co : config.coapps) {
+    const bool present =
+        std::any_of(all_apps.begin(), all_apps.end(),
+                    [&co](const auto& a) { return a.name == co.name; });
+    if (!present) all_apps.push_back(co);
+  }
+  result.baselines = collect_baselines(simulator, all_apps);
+
+  // The nested collection loops of Table V.
+  for (std::size_t p : pstates) {
+    for (const auto& target : config.targets) {
+      const BaselineProfile& target_baseline =
+          result.baselines.at(target.name);
+
+      if (config.include_alone_rows) {
+        const auto features = compute_features(target_baseline, {}, p);
+        const sim::RunMeasurement alone = simulator.run_alone(target, p, 1);
+        result.dataset.add_row(
+            features, alone.execution_time_s,
+            CampaignResult::make_tag(target.name, "-", 0, p));
+        ++result.total_runs;
+      }
+
+      for (const auto& coapp : config.coapps) {
+        const BaselineProfile& co_baseline = result.baselines.at(coapp.name);
+        for (std::size_t count : counts) {
+          const std::vector<sim::ApplicationSpec> copies(count, coapp);
+          const sim::RunMeasurement m =
+              simulator.run_colocated(target, copies, p);
+
+          const std::vector<const BaselineProfile*> co_profiles(
+              count, &co_baseline);
+          const auto features =
+              compute_features(target_baseline, co_profiles, p);
+          result.dataset.add_row(
+              features, m.execution_time_s,
+              CampaignResult::make_tag(target.name, coapp.name, count, p));
+          ++result.total_runs;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace coloc::core

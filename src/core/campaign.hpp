@@ -1,0 +1,61 @@
+// Training-data collection campaign — Section IV-B3 / Table V.
+//
+// The paper's sweep, reproduced verbatim as nested loops:
+//
+//   for each multicore processor:
+//     for each frequency (six P-states):
+//       for each target application (all eleven):
+//         for each co-located application (cg, sp, fluidanimate, ep):
+//           for each number of co-locations (1 .. cores-1):
+//             get_exec_time_of_target()
+//
+// Co-located copies are homogeneous (all the same application), giving a
+// sparse but *uniform* cover of the co-location space — the design property
+// the paper contrasts with random sampling in [DwF12].
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+#include "ml/dataset.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::core {
+
+struct CampaignConfig {
+  /// Target applications (defaults to the full 11-app suite).
+  std::vector<sim::ApplicationSpec> targets;
+  /// Co-runner applications (defaults to the four class representatives).
+  std::vector<sim::ApplicationSpec> coapps;
+  /// Numbers of co-located copies to sweep; empty = 1 .. cores-1.
+  std::vector<std::size_t> colocation_counts;
+  /// P-state indices to sweep; empty = all states of the machine.
+  std::vector<std::size_t> pstate_indices;
+  /// Also include the zero-co-runner baseline rows in the dataset.
+  bool include_alone_rows = false;
+
+  static CampaignConfig paper_defaults();
+};
+
+struct CampaignResult {
+  ml::Dataset dataset;  // 8 features + co-located execution time + tag
+  BaselineLibrary baselines;
+  std::size_t total_runs = 0;
+
+  /// Tag format: "<target>|<coapp>|x<count>|p<pstate>".
+  static std::string make_tag(const std::string& target,
+                              const std::string& coapp, std::size_t count,
+                              std::size_t pstate);
+  /// Extracts the target application name from a row tag.
+  static std::string tag_target(const std::string& tag);
+};
+
+/// Runs the full campaign on one simulated machine. Baselines are collected
+/// first (one run-alone pass per app per P-state), then every co-location
+/// cell is measured once, exactly like the paper's collection code.
+CampaignResult run_campaign(sim::Simulator& simulator,
+                            const CampaignConfig& config);
+
+}  // namespace coloc::core

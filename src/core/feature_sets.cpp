@@ -1,0 +1,60 @@
+#include "core/feature_sets.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace coloc::core {
+
+std::string to_string(FeatureSet set) {
+  switch (set) {
+    case FeatureSet::kA: return "A";
+    case FeatureSet::kB: return "B";
+    case FeatureSet::kC: return "C";
+    case FeatureSet::kD: return "D";
+    case FeatureSet::kE: return "E";
+    case FeatureSet::kF: return "F";
+  }
+  return "?";
+}
+
+const std::vector<std::size_t>& feature_set_columns(FeatureSet set) {
+  static const std::vector<std::size_t> kA = {0};
+  static const std::vector<std::size_t> kB = {0, 1};
+  static const std::vector<std::size_t> kC = {0, 1, 2};
+  static const std::vector<std::size_t> kD = {0, 1, 2, 3};
+  static const std::vector<std::size_t> kE = {0, 1, 2, 3, 4, 5};
+  static const std::vector<std::size_t> kF = {0, 1, 2, 3, 4, 5, 6, 7};
+  switch (set) {
+    case FeatureSet::kA: return kA;
+    case FeatureSet::kB: return kB;
+    case FeatureSet::kC: return kC;
+    case FeatureSet::kD: return kD;
+    case FeatureSet::kE: return kE;
+    case FeatureSet::kF: return kF;
+  }
+  return kF;
+}
+
+std::vector<FeatureId> feature_set_ids(FeatureSet set) {
+  std::vector<FeatureId> ids;
+  for (std::size_t c : feature_set_columns(set))
+    ids.push_back(static_cast<FeatureId>(c));
+  return ids;
+}
+
+FeatureSet parse_feature_set(const std::string& name) {
+  COLOC_CHECK_MSG(name.size() == 1, "feature set must be a single letter A-F");
+  switch (std::toupper(static_cast<unsigned char>(name[0]))) {
+    case 'A': return FeatureSet::kA;
+    case 'B': return FeatureSet::kB;
+    case 'C': return FeatureSet::kC;
+    case 'D': return FeatureSet::kD;
+    case 'E': return FeatureSet::kE;
+    case 'F': return FeatureSet::kF;
+    default:
+      throw coloc::invalid_argument_error("unknown feature set: " + name);
+  }
+}
+
+}  // namespace coloc::core

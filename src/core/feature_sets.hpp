@@ -1,0 +1,40 @@
+// Feature-set groups A-F from Table II of the paper.
+//
+// The sets grow incrementally, simulating "a realistic process where the
+// resource management system progressively obtains more detailed
+// information about the system and the executing applications":
+//   A: baseExTime
+//   B: A + numCoApp
+//   C: B + coAppMem
+//   D: C + targetMem
+//   E: D + coAppCM/CA, coAppCA/INS
+//   F: E + targetCM/CA, targetCA/INS
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace coloc::core {
+
+enum class FeatureSet { kA, kB, kC, kD, kE, kF };
+
+inline constexpr FeatureSet kAllFeatureSets[] = {
+    FeatureSet::kA, FeatureSet::kB, FeatureSet::kC,
+    FeatureSet::kD, FeatureSet::kE, FeatureSet::kF,
+};
+
+std::string to_string(FeatureSet set);
+
+/// Dataset column indices (into the canonical 8-feature layout) used by a
+/// feature set, in Table II order.
+const std::vector<std::size_t>& feature_set_columns(FeatureSet set);
+
+/// The FeatureIds of a set (same order as feature_set_columns).
+std::vector<FeatureId> feature_set_ids(FeatureSet set);
+
+/// Parses "A".."F" (case-insensitive); throws on anything else.
+FeatureSet parse_feature_set(const std::string& name);
+
+}  // namespace coloc::core

@@ -1,0 +1,139 @@
+#include "core/methodology.hpp"
+
+#include <fstream>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ml/serialization.hpp"
+
+namespace coloc::core {
+
+const ModelEvaluation& EvaluationSuite::find(ModelTechnique technique,
+                                             FeatureSet set) const {
+  for (const auto& e : evaluations) {
+    if (e.id.technique == technique && e.id.feature_set == set) return e;
+  }
+  throw coloc::invalid_argument_error("model evaluation not found: " +
+                                      ModelId{technique, set}.name());
+}
+
+EvaluationSuite evaluate_model_zoo(
+    const ml::Dataset& dataset, const EvaluationConfig& config,
+    std::optional<ModelId> collect_predictions_for) {
+  EvaluationSuite suite;
+  std::uint64_t salt = 1;
+  for (ModelTechnique technique : kAllTechniques) {
+    for (FeatureSet set : kAllFeatureSets) {
+      const ModelId id{technique, set};
+      ml::ValidationOptions validation = config.validation;
+      validation.collect_test_predictions =
+          collect_predictions_for && collect_predictions_for->technique ==
+                                         technique &&
+          collect_predictions_for->feature_set == set;
+
+      const auto& columns = feature_set_columns(set);
+      const ml::ModelFactory factory =
+          make_model_factory(id, config.zoo, salt++);
+      ModelEvaluation evaluation;
+      evaluation.id = id;
+      evaluation.result = ml::repeated_subsampling_validation(
+          dataset, columns, factory, validation);
+      suite.evaluations.push_back(std::move(evaluation));
+    }
+  }
+  return suite;
+}
+
+ColocationPredictor ColocationPredictor::train(const ml::Dataset& dataset,
+                                               const ModelId& id,
+                                               const ModelZooOptions& options) {
+  const auto& columns = feature_set_columns(id.feature_set);
+  std::vector<std::size_t> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  const linalg::Matrix x = dataset.design_matrix(rows, columns);
+  const std::vector<double> y = dataset.target_subset(rows);
+  ml::RegressorPtr model = make_model_factory(id, options)(x, y);
+  return ColocationPredictor(id, std::move(model),
+                             {columns.begin(), columns.end()});
+}
+
+double ColocationPredictor::predict_time(
+    const BaselineProfile& target,
+    const std::vector<const BaselineProfile*>& coapps,
+    std::size_t pstate_index) const {
+  const auto all_features = compute_features(target, coapps, pstate_index);
+  std::vector<double> selected;
+  selected.reserve(columns_.size());
+  for (std::size_t c : columns_) selected.push_back(all_features[c]);
+  return model_->predict(selected);
+}
+
+double ColocationPredictor::predict_slowdown(
+    const BaselineProfile& target,
+    const std::vector<const BaselineProfile*>& coapps,
+    std::size_t pstate_index) const {
+  const double baseline = target.time_at(pstate_index);
+  COLOC_CHECK_MSG(baseline > 0.0, "baseline time must be positive");
+  return predict_time(target, coapps, pstate_index) / baseline;
+}
+
+void ColocationPredictor::save(std::ostream& os) const {
+  os << "coloc-predictor v1\n";
+  os << "technique " << to_string(id_.technique) << "\n";
+  os << "feature_set " << to_string(id_.feature_set) << "\n";
+  ml::save_model(os, *model_);
+}
+
+ColocationPredictor ColocationPredictor::load(std::istream& is) {
+  std::string header;
+  std::getline(is, header);
+  COLOC_CHECK_MSG(header == "coloc-predictor v1",
+                  "not a coloc predictor stream");
+  std::string key, technique_name, set_name;
+  COLOC_CHECK_MSG(
+      static_cast<bool>(is >> key >> technique_name) && key == "technique",
+      "predictor stream missing technique");
+  COLOC_CHECK_MSG(
+      static_cast<bool>(is >> key >> set_name) && key == "feature_set",
+      "predictor stream missing feature set");
+  is >> std::ws;
+
+  ModelId id;
+  if (technique_name == "linear") {
+    id.technique = ModelTechnique::kLinear;
+  } else if (technique_name == "nn") {
+    id.technique = ModelTechnique::kNeuralNetwork;
+  } else {
+    throw coloc::invalid_argument_error("unknown technique: " +
+                                        technique_name);
+  }
+  id.feature_set = parse_feature_set(set_name);
+
+  ml::RegressorPtr model = ml::load_model(is);
+  const auto& columns = feature_set_columns(id.feature_set);
+  return ColocationPredictor(id, std::move(model),
+                             {columns.begin(), columns.end()});
+}
+
+void ColocationPredictor::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  COLOC_CHECK_MSG(f.good(), "cannot open predictor file: " + path);
+  save(f);
+}
+
+ColocationPredictor ColocationPredictor::load_file(const std::string& path) {
+  std::ifstream f(path);
+  COLOC_CHECK_MSG(f.good(), "cannot open predictor file: " + path);
+  return load(f);
+}
+
+ml::PcaResult analyze_features(const ml::Dataset& dataset) {
+  std::vector<std::size_t> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<std::size_t> columns(dataset.num_features());
+  std::iota(columns.begin(), columns.end(), 0);
+  const linalg::Matrix x = dataset.design_matrix(rows, columns);
+  return ml::pca_fit(x);
+}
+
+}  // namespace coloc::core

@@ -1,0 +1,41 @@
+#include "core/model_zoo.hpp"
+
+#include <memory>
+
+namespace coloc::core {
+
+std::string to_string(ModelTechnique technique) {
+  return technique == ModelTechnique::kLinear ? "linear" : "nn";
+}
+
+std::size_t hidden_units_for(FeatureSet set) {
+  const std::size_t features = feature_set_columns(set).size();
+  // 1 feature -> 10 units, 8 features -> 20 units, linear in between.
+  return 10 + (features - 1) * 10 / 7;
+}
+
+ml::ModelFactory make_model_factory(const ModelId& id,
+                                    const ModelZooOptions& options,
+                                    std::uint64_t seed_salt) {
+  if (id.technique == ModelTechnique::kLinear) {
+    const ml::LinearModelOptions linear = options.linear;
+    return [linear](const linalg::Matrix& x,
+                    std::span<const double> y) -> ml::RegressorPtr {
+      return std::make_unique<ml::LinearModel>(
+          ml::LinearModel::fit(x, y, linear));
+    };
+  }
+
+  ml::MlpOptions mlp = options.mlp;
+  if (!options.fixed_hidden_units) {
+    mlp.hidden_units = hidden_units_for(id.feature_set);
+  }
+  mlp.seed ^= seed_salt * 0x9e3779b97f4a7c15ULL +
+              static_cast<std::uint64_t>(id.feature_set) * 1315423911ULL;
+  return [mlp](const linalg::Matrix& x,
+               std::span<const double> y) -> ml::RegressorPtr {
+    return std::make_unique<ml::MlpRegressor>(ml::MlpRegressor::fit(x, y, mlp));
+  };
+}
+
+}  // namespace coloc::core

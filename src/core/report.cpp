@@ -1,0 +1,149 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coloc::core {
+
+std::string to_string(Metric metric) {
+  return metric == Metric::kMpe ? "MPE" : "NRMSE";
+}
+
+std::vector<FigureSeries> build_figure_series(const EvaluationSuite& suite,
+                                              Metric metric) {
+  std::vector<FigureSeries> series;
+  for (ModelTechnique technique : kAllTechniques) {
+    FigureSeries train_line{to_string(technique) + "-train", {}};
+    FigureSeries test_line{to_string(technique) + "-test", {}};
+    for (FeatureSet set : kAllFeatureSets) {
+      const ml::ValidationResult& r = suite.find(technique, set).result;
+      if (metric == Metric::kMpe) {
+        train_line.values.push_back(r.train_mpe);
+        test_line.values.push_back(r.test_mpe);
+      } else {
+        train_line.values.push_back(r.train_nrmse);
+        test_line.values.push_back(r.test_nrmse);
+      }
+    }
+    series.push_back(std::move(train_line));
+    series.push_back(std::move(test_line));
+  }
+  return series;
+}
+
+std::string render_figure(const std::string& title,
+                          const std::vector<FigureSeries>& series) {
+  std::ostringstream os;
+  os << title << "\n" << std::string(title.size(), '=') << "\n";
+  os << "feature sets:           A     B     C     D     E     F\n";
+  for (const auto& line : series) {
+    os << std::left << std::setw(16) << line.label << std::right;
+    os << std::fixed << std::setprecision(2);
+    for (double v : line.values) os << std::setw(6) << v;
+    os << "\n";
+  }
+  // CSV block for replotting.
+  os << "\ncsv,set";
+  for (const auto& line : series) os << "," << line.label;
+  os << "\n";
+  const char* sets = "ABCDEF";
+  for (std::size_t i = 0; i < 6; ++i) {
+    os << "csv," << sets[i];
+    os << std::fixed << std::setprecision(4);
+    for (const auto& line : series) {
+      COLOC_CHECK_MSG(line.values.size() == 6, "series must cover sets A-F");
+      os << "," << line.values[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::map<std::string, Summary> per_app_error_summaries(
+    const std::vector<ml::TaggedPrediction>& predictions) {
+  std::map<std::string, std::vector<double>> errors;
+  for (const auto& p : predictions) {
+    COLOC_CHECK_MSG(p.actual != 0.0, "actual time cannot be zero");
+    const double pct = 100.0 * (p.predicted - p.actual) / p.actual;
+    errors[CampaignResult::tag_target(p.tag)].push_back(pct);
+  }
+  std::map<std::string, Summary> out;
+  for (const auto& [app, errs] : errors) out[app] = summarize(errs);
+  return out;
+}
+
+std::map<std::string, Summary> per_app_time_summaries(
+    const ml::Dataset& dataset) {
+  std::map<std::string, std::vector<double>> times;
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    times[CampaignResult::tag_target(dataset.tag(r))].push_back(
+        dataset.target(r));
+  }
+  std::map<std::string, Summary> out;
+  for (const auto& [app, ts] : times) out[app] = summarize(ts);
+  return out;
+}
+
+TextTable render_table3(const std::vector<sim::ApplicationSpec>& apps,
+                        const BaselineLibrary& baselines) {
+  TextTable table("Table III: Benchmark Applications & Memory Intensity");
+  table.set_columns({"application", "suite", "class", "memory intensity"},
+                    {Align::kLeft, Align::kLeft, Align::kLeft, Align::kRight});
+  for (const auto& app : apps) {
+    const auto it = baselines.find(app.name);
+    COLOC_CHECK_MSG(it != baselines.end(),
+                    "missing baseline for " + app.name);
+    std::ostringstream mi;
+    mi << std::scientific << std::setprecision(2)
+       << it->second.memory_intensity;
+    table.add_row({app.name + " (" + to_string(app.suite) + ")",
+                   app.suite == sim::Suite::kParsec ? "PARSEC" : "NAS",
+                   to_string(app.memory_class), mi.str()});
+  }
+  return table;
+}
+
+TextTable render_table4(const std::vector<sim::MachineConfig>& machines) {
+  TextTable table("Table IV: Multicore Processors Used for Validation");
+  table.set_columns(
+      {"processor", "num. cores", "L3 cache", "frequency range"},
+      {Align::kLeft, Align::kRight, Align::kRight, Align::kRight});
+  for (const auto& m : machines) {
+    std::ostringstream freq;
+    freq << std::fixed << std::setprecision(2) << m.pstates.min_frequency()
+         << "-" << m.pstates.max_frequency() << " GHz";
+    table.add_row({m.name, TextTable::num(m.cores),
+                   std::to_string(m.llc_bytes >> 20) + "MB", freq.str()});
+  }
+  return table;
+}
+
+TextTable render_table5(const std::vector<sim::MachineConfig>& machines,
+                        const CampaignConfig& config) {
+  TextTable table("Table V: Training Data Collection Parameters");
+  table.set_columns({"processor", "P-state frequencies (GHz)", "targets",
+                     "co-located apps", "num. of co-locations"},
+                    {Align::kLeft, Align::kLeft, Align::kRight, Align::kLeft,
+                     Align::kLeft});
+  std::string coapps;
+  for (const auto& c : config.coapps) {
+    if (!coapps.empty()) coapps += ", ";
+    coapps += c.name;
+  }
+  for (const auto& m : machines) {
+    std::ostringstream freqs;
+    freqs << std::fixed << std::setprecision(2);
+    for (std::size_t p = 0; p < m.pstates.size(); ++p) {
+      if (p) freqs << ", ";
+      freqs << m.pstates[p].frequency_ghz;
+    }
+    table.add_row({m.name, freqs.str(),
+                   TextTable::num(config.targets.size()), coapps,
+                   "1-" + std::to_string(m.cores - 1)});
+  }
+  return table;
+}
+
+}  // namespace coloc::core

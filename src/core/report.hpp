@@ -1,0 +1,59 @@
+// Report/series builders: convert evaluation results into exactly the rows
+// and series the paper's tables and figures present, so every bench binary
+// is a thin printer around this module.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/methodology.hpp"
+
+namespace coloc::core {
+
+/// Which metric a figure plots.
+enum class Metric { kMpe, kNrmse };
+std::string to_string(Metric metric);
+
+/// One plotted line: a value per feature set A-F.
+struct FigureSeries {
+  std::string label;
+  std::vector<double> values;  // indexed by feature set order A..F
+};
+
+/// Builds the four lines of Figures 1-4 for one machine's evaluation
+/// suite: {linear, nn} x {training error, testing error} for the metric.
+std::vector<FigureSeries> build_figure_series(const EvaluationSuite& suite,
+                                              Metric metric);
+
+/// Renders a figure (title + per-set series) as text and appends a CSV
+/// block for replotting.
+std::string render_figure(const std::string& title,
+                          const std::vector<FigureSeries>& series);
+
+/// Per-application summary of signed percent errors (Figure 5b): median
+/// and quartiles per target application, from a model's held-out
+/// predictions across all validation partitions.
+std::map<std::string, Summary> per_app_error_summaries(
+    const std::vector<ml::TaggedPrediction>& predictions);
+
+/// Per-application execution-time distributions (Figure 5a) straight from
+/// the campaign dataset.
+std::map<std::string, Summary> per_app_time_summaries(
+    const ml::Dataset& dataset);
+
+/// Table III renderer: application, suite, class, baseline memory
+/// intensity (as measured on the simulated machine).
+TextTable render_table3(const std::vector<sim::ApplicationSpec>& apps,
+                        const BaselineLibrary& baselines);
+
+/// Table IV renderer from machine configs.
+TextTable render_table4(const std::vector<sim::MachineConfig>& machines);
+
+/// Table V renderer from a machine + campaign config.
+TextTable render_table5(const std::vector<sim::MachineConfig>& machines,
+                        const CampaignConfig& config);
+
+}  // namespace coloc::core

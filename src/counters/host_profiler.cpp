@@ -1,0 +1,33 @@
+#include "counters/host_profiler.hpp"
+
+#include <chrono>
+
+#include "counters/papi_like.hpp"
+
+namespace coloc::counters {
+
+std::optional<HostBaseline> profile_kernel(const MicrobenchSpec& spec) {
+  auto session = HostCounterSession::create();
+  if (!session) return std::nullopt;
+
+  HostBaseline baseline;
+  baseline.name = spec.name;
+  const auto start = std::chrono::steady_clock::now();
+  baseline.counters = session->measure([&spec] { spec.run(spec); });
+  const auto end = std::chrono::steady_clock::now();
+  baseline.execution_time_s =
+      std::chrono::duration<double>(end - start).count();
+  return baseline;
+}
+
+std::vector<HostBaseline> profile_suite() {
+  std::vector<HostBaseline> results;
+  for (const auto& spec : microbench_suite()) {
+    auto baseline = profile_kernel(spec);
+    if (!baseline) return {};
+    results.push_back(std::move(*baseline));
+  }
+  return results;
+}
+
+}  // namespace coloc::counters

@@ -1,0 +1,33 @@
+// Baseline profiling on the live host: runs a microbenchmark under the
+// preset counters and derives the paper's baseline features (memory
+// intensity, CM/CA, CA/INS, execution time) exactly as Section IV-B3's
+// "initial baseline tests" do on the Xeon testbeds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "counters/microbench.hpp"
+#include "sim/counters.hpp"
+
+namespace coloc::counters {
+
+/// Baseline measurement of one application/kernel on the host.
+struct HostBaseline {
+  std::string name;
+  double execution_time_s = 0.0;
+  sim::CounterSet counters;
+
+  double memory_intensity() const { return counters.memory_intensity(); }
+  double cm_per_ca() const { return counters.cm_per_ca(); }
+  double ca_per_ins() const { return counters.ca_per_ins(); }
+};
+
+/// Profiles one kernel; nullopt when perf counters are unavailable.
+std::optional<HostBaseline> profile_kernel(const MicrobenchSpec& spec);
+
+/// Profiles the whole microbenchmark suite; empty when unavailable.
+std::vector<HostBaseline> profile_suite();
+
+}  // namespace coloc::counters

@@ -1,0 +1,77 @@
+#include "counters/microbench.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace coloc::counters {
+
+double stream_triad(std::size_t elements, std::size_t iterations) {
+  COLOC_CHECK_MSG(elements > 0 && iterations > 0, "empty triad workload");
+  std::vector<double> a(elements, 0.0), b(elements, 1.0), c(elements, 2.0);
+  const double s = 3.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < elements; ++i) a[i] = b[i] + s * c[i];
+    // Rotate roles so stores hit different arrays across iterations.
+    a.swap(b);
+  }
+  return std::accumulate(a.begin(), a.end(), 0.0);
+}
+
+std::uint64_t pointer_chase(std::size_t bytes, std::size_t steps,
+                            std::uint64_t seed) {
+  const std::size_t slots = std::max<std::size_t>(2, bytes / sizeof(void*));
+  COLOC_CHECK_MSG(steps > 0, "empty chase workload");
+  // Build a random Hamiltonian cycle (Sattolo's algorithm) so the chase
+  // visits every slot before repeating — defeats the prefetcher.
+  std::vector<std::uint64_t> next(slots);
+  std::vector<std::uint64_t> perm(slots);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < slots; ++i) perm[i] = i;
+  for (std::size_t i = slots - 1; i > 0; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.uniform_index(i));
+    std::swap(perm[i], perm[j]);
+  }
+  for (std::size_t i = 0; i < slots; ++i)
+    next[perm[i]] = perm[(i + 1) % slots];
+
+  std::uint64_t cursor = perm[0];
+  for (std::size_t i = 0; i < steps; ++i) cursor = next[cursor];
+  return cursor;
+}
+
+double compute_kernel(std::size_t iterations) {
+  COLOC_CHECK_MSG(iterations > 0, "empty compute workload");
+  double x = 0.5, acc = 0.0;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    // Horner evaluation of a degree-7 polynomial; stays in registers.
+    const double p =
+        ((((((x * 0.11 + 0.22) * x + 0.33) * x + 0.44) * x + 0.55) * x +
+          0.66) * x + 0.77) * x + 0.88;
+    acc += p;
+    x = p - static_cast<double>(static_cast<long long>(p));  // keep in [0,1)
+  }
+  return acc;
+}
+
+namespace {
+void run_stream(const MicrobenchSpec& spec) {
+  stream_triad(spec.footprint_bytes / (3 * sizeof(double)), 4);
+}
+void run_chase(const MicrobenchSpec& spec) {
+  pointer_chase(spec.footprint_bytes, 2'000'000);
+}
+void run_compute(const MicrobenchSpec&) { compute_kernel(20'000'000); }
+}  // namespace
+
+std::vector<MicrobenchSpec> microbench_suite() {
+  return {
+      MicrobenchSpec{"stream_triad", 96ULL << 20, &run_stream},
+      MicrobenchSpec{"pointer_chase_large", 64ULL << 20, &run_chase},
+      MicrobenchSpec{"pointer_chase_small", 128ULL << 10, &run_chase},
+      MicrobenchSpec{"compute", 0, &run_compute},
+  };
+}
+
+}  // namespace coloc::counters

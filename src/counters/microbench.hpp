@@ -1,0 +1,39 @@
+// Host microbenchmark kernels with controllable memory behaviour.
+//
+// These play the role of the paper's benchmark applications when the
+// library runs against real hardware counters: a streaming kernel (high
+// memory intensity), a pointer chase (latency bound), and a compute kernel
+// (CPU bound) span the same memory-intensity classes as Table III.
+// Each kernel returns a checksum so the optimizer cannot elide the work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace coloc::counters {
+
+/// STREAM-triad-like pass over three arrays: a[i] = b[i] + s * c[i].
+/// High bandwidth demand; Class I/II analogue.
+double stream_triad(std::size_t elements, std::size_t iterations);
+
+/// Random pointer chase through a `bytes`-sized ring. Latency bound; the
+/// footprint decides its class (larger than LLC => Class I analogue).
+std::uint64_t pointer_chase(std::size_t bytes, std::size_t steps,
+                            std::uint64_t seed = 12345);
+
+/// Arithmetic-only kernel (polynomial evaluation in registers); Class IV.
+double compute_kernel(std::size_t iterations);
+
+/// Named kernel descriptor so examples can enumerate the suite.
+struct MicrobenchSpec {
+  std::string name;
+  std::size_t footprint_bytes = 0;
+  /// Runs the kernel once with a size appropriate for its class.
+  void (*run)(const MicrobenchSpec&) = nullptr;
+};
+
+std::vector<MicrobenchSpec> microbench_suite();
+
+}  // namespace coloc::counters

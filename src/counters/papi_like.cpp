@@ -1,0 +1,52 @@
+#include "counters/papi_like.hpp"
+
+#include "common/error.hpp"
+
+namespace coloc::counters {
+
+namespace {
+// Order matches sim::PresetEvent indices.
+constexpr HwEvent kSessionEvents[] = {
+    HwEvent::kInstructions,
+    HwEvent::kCpuCycles,
+    HwEvent::kCacheMisses,
+    HwEvent::kCacheReferences,
+};
+constexpr sim::PresetEvent kSessionPresets[] = {
+    sim::PresetEvent::kTotalInstructions,
+    sim::PresetEvent::kTotalCycles,
+    sim::PresetEvent::kLlcMisses,
+    sim::PresetEvent::kLlcAccesses,
+};
+}  // namespace
+
+std::optional<HostCounterSession> HostCounterSession::create() {
+  std::vector<PerfCounter> counters;
+  counters.reserve(4);
+  for (HwEvent event : kSessionEvents) {
+    auto counter = PerfCounter::open(event);
+    if (!counter) return std::nullopt;
+    counters.push_back(std::move(*counter));
+  }
+  return HostCounterSession(std::move(counters));
+}
+
+sim::CounterSet HostCounterSession::measure(
+    const std::function<void()>& work) {
+  COLOC_CHECK_MSG(static_cast<bool>(work), "measure needs a callable");
+  for (auto& c : counters_) {
+    c.reset();
+    c.enable();
+  }
+  work();
+  for (auto& c : counters_) c.disable();
+
+  sim::CounterSet readings;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    readings.set(kSessionPresets[i],
+                 static_cast<double>(counters_[i].read()));
+  }
+  return readings;
+}
+
+}  // namespace coloc::counters

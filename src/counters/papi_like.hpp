@@ -1,0 +1,33 @@
+// PAPI-preset facade over perf_event: measures a callable on the current
+// thread and reports the same CounterSet the simulator produces, so the
+// methodology code is backend-agnostic (Section IV-A2's portability goal).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "counters/perf_event.hpp"
+#include "sim/counters.hpp"
+
+namespace coloc::counters {
+
+/// A measurement session holding the four preset counters. Construction
+/// succeeds only if every needed counter opens; use is_available() first
+/// for a cheap probe.
+class HostCounterSession {
+ public:
+  /// Returns nullopt when the host cannot provide the counters.
+  static std::optional<HostCounterSession> create();
+
+  /// Runs `work` with counters enabled; returns the preset readings.
+  sim::CounterSet measure(const std::function<void()>& work);
+
+ private:
+  HostCounterSession(std::vector<PerfCounter> counters)
+      : counters_(std::move(counters)) {}
+
+  std::vector<PerfCounter> counters_;
+};
+
+}  // namespace coloc::counters

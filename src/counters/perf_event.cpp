@@ -1,0 +1,126 @@
+#include "counters/perf_event.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace coloc::counters {
+
+std::string to_string(HwEvent event) {
+  switch (event) {
+    case HwEvent::kInstructions: return "instructions";
+    case HwEvent::kCpuCycles: return "cpu-cycles";
+    case HwEvent::kCacheReferences: return "cache-references";
+    case HwEvent::kCacheMisses: return "cache-misses";
+  }
+  return "unknown";
+}
+
+#if defined(__linux__)
+
+namespace {
+std::uint64_t event_config(HwEvent event) {
+  switch (event) {
+    case HwEvent::kInstructions: return PERF_COUNT_HW_INSTRUCTIONS;
+    case HwEvent::kCpuCycles: return PERF_COUNT_HW_CPU_CYCLES;
+    case HwEvent::kCacheReferences: return PERF_COUNT_HW_CACHE_REFERENCES;
+    case HwEvent::kCacheMisses: return PERF_COUNT_HW_CACHE_MISSES;
+  }
+  return PERF_COUNT_HW_INSTRUCTIONS;
+}
+}  // namespace
+
+std::optional<PerfCounter> PerfCounter::open(HwEvent event) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = event_config(event);
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0);
+  if (fd < 0) return std::nullopt;
+  return PerfCounter(static_cast<int>(fd), event);
+}
+
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept
+    : fd_(other.fd_), event_(other.event_) {
+  other.fd_ = -1;
+}
+
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    event_ = other.event_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+PerfCounter::~PerfCounter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void PerfCounter::reset() {
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_RESET, 0);
+}
+
+void PerfCounter::enable() {
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void PerfCounter::disable() {
+  if (fd_ >= 0) ioctl(fd_, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::uint64_t PerfCounter::read() const {
+  COLOC_CHECK_MSG(fd_ >= 0, "perf counter not open");
+  std::uint64_t value = 0;
+  const ssize_t got = ::read(fd_, &value, sizeof(value));
+  if (got != static_cast<ssize_t>(sizeof(value))) {
+    throw coloc::runtime_error("failed to read perf counter " +
+                               to_string(event_));
+  }
+  return value;
+}
+
+bool perf_counters_available() {
+  return PerfCounter::open(HwEvent::kInstructions).has_value();
+}
+
+#else  // !__linux__
+
+std::optional<PerfCounter> PerfCounter::open(HwEvent) { return std::nullopt; }
+PerfCounter::PerfCounter(PerfCounter&& other) noexcept
+    : fd_(other.fd_), event_(other.event_) {
+  other.fd_ = -1;
+}
+PerfCounter& PerfCounter::operator=(PerfCounter&& other) noexcept {
+  fd_ = other.fd_;
+  event_ = other.event_;
+  other.fd_ = -1;
+  return *this;
+}
+PerfCounter::~PerfCounter() = default;
+void PerfCounter::reset() {}
+void PerfCounter::enable() {}
+void PerfCounter::disable() {}
+std::uint64_t PerfCounter::read() const {
+  throw coloc::runtime_error("perf counters unsupported on this platform");
+}
+bool perf_counters_available() { return false; }
+
+#endif
+
+}  // namespace coloc::counters

@@ -1,0 +1,61 @@
+// Thin RAII wrapper over the Linux perf_event_open(2) interface.
+//
+// The paper reads hardware counters through PAPI; on a live Linux host the
+// same presets map directly onto perf events. Availability is probed at
+// runtime: inside containers or with kernel.perf_event_paranoid locked
+// down, counters are simply reported unavailable and every consumer in
+// this library degrades gracefully (the simulator backend is the default
+// data source either way — see DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace coloc::counters {
+
+/// Hardware event kinds we know how to open (subset sufficient for the
+/// paper's three counters plus cycles).
+enum class HwEvent {
+  kInstructions,
+  kCpuCycles,
+  kCacheReferences,  // LLC accesses on most Intel parts
+  kCacheMisses,      // LLC misses
+};
+
+std::string to_string(HwEvent event);
+
+/// One open perf counter for the calling thread. Move-only.
+class PerfCounter {
+ public:
+  /// Attempts to open the event for the current thread, excluding kernel
+  /// and hypervisor time. Returns nullopt if the kernel refuses.
+  static std::optional<PerfCounter> open(HwEvent event);
+
+  PerfCounter(PerfCounter&& other) noexcept;
+  PerfCounter& operator=(PerfCounter&& other) noexcept;
+  PerfCounter(const PerfCounter&) = delete;
+  PerfCounter& operator=(const PerfCounter&) = delete;
+  ~PerfCounter();
+
+  void reset();
+  void enable();
+  void disable();
+
+  /// Current counter value; throws coloc::runtime_error on read failure.
+  std::uint64_t read() const;
+
+  HwEvent event() const { return event_; }
+
+ private:
+  PerfCounter(int fd, HwEvent event) : fd_(fd), event_(event) {}
+
+  int fd_ = -1;
+  HwEvent event_;
+};
+
+/// True if this process can open at least an instructions counter —
+/// the cheapest way to decide whether the host backend is usable.
+bool perf_counters_available();
+
+}  // namespace coloc::counters

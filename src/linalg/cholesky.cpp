@@ -1,0 +1,72 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+namespace coloc::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+  COLOC_CHECK_MSG(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw coloc::runtime_error(
+              "Cholesky: matrix is not positive definite");
+        }
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector Cholesky::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  COLOC_CHECK_MSG(b.size() == n, "rhs length mismatch");
+  // Forward substitution: L y = b.
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Backward substitution: L^T x = y.
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+double Cholesky::log_determinant() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector normal_equations_solve(const Matrix& a, std::span<const double> b,
+                              double lambda) {
+  const std::size_t n = a.cols();
+  Matrix ata(n, n, 0.0);
+  // A^T A accumulated row by row (rank-1 updates keep access sequential).
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const auto row = a.row(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) ata(i, j) += ri * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) ata(i, i) += lambda;
+  const Vector atb = matvec_transposed(a, b);
+  return Cholesky(ata).solve(atb);
+}
+
+}  // namespace coloc::linalg

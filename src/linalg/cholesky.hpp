@@ -1,0 +1,36 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// Used for normal-equation solves where speed matters more than the extra
+// digits QR buys, and by tests as an independent cross-check of QR results.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace coloc::linalg {
+
+/// Lower-triangular Cholesky factor of an SPD matrix: A = L L^T.
+/// Throws coloc::runtime_error if the matrix is not positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& l_factor() const { return l_; }
+
+  /// Solves A x = b via forward + backward substitution.
+  Vector solve(std::span<const double> b) const;
+
+  /// log(det(A)) = 2 * sum(log(L_ii)); handy for model-evidence diagnostics.
+  double log_determinant() const;
+
+ private:
+  Matrix l_;
+};
+
+/// Solves the regularized normal equations (A^T A + lambda I) x = A^T b.
+Vector normal_equations_solve(const Matrix& a, std::span<const double> b,
+                              double lambda = 0.0);
+
+}  // namespace coloc::linalg

@@ -1,0 +1,92 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace coloc::linalg {
+
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps, double tol) {
+  COLOC_CHECK_MSG(a.rows() == a.cols(), "eigen_symmetric needs square input");
+  const std::size_t n = a.rows();
+  // Verify symmetry relative to the largest magnitude entry.
+  double amax = 0.0;
+  for (double v : a.data()) amax = std::max(amax, std::abs(v));
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      COLOC_CHECK_MSG(std::abs(a(i, j) - a(j, i)) <= 1e-9 * std::max(1.0, amax),
+                      "eigen_symmetric: input is not symmetric");
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+
+  auto off_diagonal_norm = [&d, n] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) s += d(i, j) * d(i, j);
+    return std::sqrt(2.0 * s);
+  };
+
+  const double stop = tol * std::max(1.0, amax);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_norm() <= stop) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Rotate rows/columns p and q of D.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        // Accumulate the rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult result;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = d(i, i);
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&result](std::size_t x, std::size_t y) {
+    return result.values[x] > result.values[y];
+  });
+  Vector sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_values[i] = result.values[order[i]];
+    for (std::size_t r = 0; r < n; ++r)
+      sorted_vectors(r, i) = v(r, order[i]);
+  }
+  result.values = std::move(sorted_values);
+  result.vectors = std::move(sorted_vectors);
+  return result;
+}
+
+}  // namespace coloc::linalg

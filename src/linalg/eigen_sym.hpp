@@ -1,0 +1,23 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Powers the PCA feature ranking of Section III-B: the covariance matrices
+// there are at most 8x8, where Jacobi is simple, robust and accurate.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace coloc::linalg {
+
+/// Result of eigen_symmetric: A = V diag(values) V^T with orthonormal V.
+/// Eigenvalues are sorted descending; columns of `vectors` correspond.
+struct EigenResult {
+  Vector values;
+  Matrix vectors;  // column i is the eigenvector for values[i]
+};
+
+/// Computes all eigenpairs of a symmetric matrix. `a` must be square and
+/// (numerically) symmetric; asymmetry beyond 1e-9 relative is rejected.
+EigenResult eigen_symmetric(const Matrix& a, int max_sweeps = 64,
+                            double tol = 1e-12);
+
+}  // namespace coloc::linalg

@@ -1,0 +1,130 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace coloc::linalg {
+
+std::size_t SvdResult::rank(double tol) const {
+  if (singular_values.empty()) return 0;
+  const double cutoff = tol * singular_values.front();
+  std::size_t r = 0;
+  for (double s : singular_values) {
+    if (s > cutoff) ++r;
+  }
+  return r;
+}
+
+SvdResult svd(const Matrix& a, int max_sweeps, double tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  COLOC_CHECK_MSG(m >= n, "svd requires rows >= cols (use A^T otherwise)");
+  COLOC_CHECK_MSG(n >= 1, "svd needs at least one column");
+
+  // One-sided Jacobi: orthogonalize the columns of U (initialized to A)
+  // with plane rotations accumulated into V.
+  Matrix u = a;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    bool converged = true;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Gram entries for the (p, q) column pair.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          app += u(i, p) * u(i, p);
+          aqq += u(i, q) * u(i, q);
+          apq += u(i, p) * u(i, q);
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq) ||
+            (app == 0.0 && aqq == 0.0)) {
+          continue;
+        }
+        converged = false;
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double up = u(i, p);
+          const double uq = u(i, q);
+          u(i, p) = c * up - s * uq;
+          u(i, q) = s * up + c * uq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) break;
+  }
+
+  // Column norms are the singular values; normalize U's columns.
+  SvdResult result;
+  result.singular_values.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += u(i, c) * u(i, c);
+    result.singular_values[c] = std::sqrt(norm);
+  }
+
+  // Sort descending, permuting U and V columns accordingly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&result](auto x, auto y) {
+    return result.singular_values[x] > result.singular_values[y];
+  });
+
+  Matrix u_sorted(m, n);
+  Matrix v_sorted(n, n);
+  Vector s_sorted(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t src = order[c];
+    const double sv = result.singular_values[src];
+    s_sorted[c] = sv;
+    const double inv = sv > 0.0 ? 1.0 / sv : 0.0;
+    for (std::size_t i = 0; i < m; ++i) u_sorted(i, c) = u(i, src) * inv;
+    for (std::size_t i = 0; i < n; ++i) v_sorted(i, c) = v(i, src);
+  }
+  result.u = std::move(u_sorted);
+  result.v = std::move(v_sorted);
+  result.singular_values = std::move(s_sorted);
+  return result;
+}
+
+Vector svd_least_squares(const Matrix& a, std::span<const double> b,
+                         double rcond) {
+  COLOC_CHECK_MSG(a.rows() == b.size(), "rhs length mismatch");
+  const SvdResult decomposition = svd(a);
+  const std::size_t n = a.cols();
+  const double cutoff =
+      rcond * (decomposition.singular_values.empty()
+                   ? 0.0
+                   : decomposition.singular_values.front());
+
+  // x = V * diag(1/s) * U^T * b, zeroing tiny singular values.
+  Vector utb(n, 0.0);
+  for (std::size_t c = 0; c < n; ++c) {
+    double dot_ub = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+      dot_ub += decomposition.u(i, c) * b[i];
+    utb[c] = decomposition.singular_values[c] > cutoff
+                 ? dot_ub / decomposition.singular_values[c]
+                 : 0.0;
+  }
+  Vector x(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < n; ++c)
+      x[i] += decomposition.v(i, c) * utb[c];
+  }
+  return x;
+}
+
+}  // namespace coloc::linalg

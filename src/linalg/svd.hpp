@@ -1,0 +1,35 @@
+// Singular value decomposition via the one-sided Jacobi method.
+//
+// Used for minimum-norm least squares on rank-deficient systems (the exact
+// behaviour of the SciPy solver the paper used) and as an independent
+// cross-check of the QR and PCA paths in tests. One-sided Jacobi is slow
+// but extremely accurate and simple — ideal at this library's scales
+// (design matrices with at most a few thousand rows and ~10 columns).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace coloc::linalg {
+
+/// Thin SVD of an m x n matrix (m >= n): A = U * diag(s) * V^T with
+/// U (m x n) column-orthonormal, V (n x n) orthogonal, s descending >= 0.
+struct SvdResult {
+  Matrix u;
+  Vector singular_values;
+  Matrix v;
+
+  /// Numerical rank: singular values above tol * s_max.
+  std::size_t rank(double tol = 1e-12) const;
+};
+
+SvdResult svd(const Matrix& a, int max_sweeps = 64, double tol = 1e-14);
+
+/// Minimum-norm least squares via the pseudo-inverse: works on
+/// rank-deficient systems where QR-based solves throw. Singular values
+/// below rcond * s_max are treated as zero.
+Vector svd_least_squares(const Matrix& a, std::span<const double> b,
+                         double rcond = 1e-12);
+
+}  // namespace coloc::linalg

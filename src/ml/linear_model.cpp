@@ -1,0 +1,109 @@
+#include "ml/linear_model.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "linalg/qr.hpp"
+#include "ml/dataset.hpp"
+
+namespace coloc::ml {
+
+LinearModel LinearModel::fit(const linalg::Matrix& x,
+                             std::span<const double> y,
+                             const LinearModelOptions& options) {
+  COLOC_CHECK_MSG(x.rows() == y.size(), "row/target count mismatch");
+  COLOC_CHECK_MSG(x.rows() > x.cols(),
+                  "need more observations than features");
+  const std::size_t n = x.cols();
+
+  linalg::Matrix design = x;
+  Standardizer scaler;
+  if (options.standardize) {
+    scaler = Standardizer::fit(design);
+    scaler.transform(design);
+  }
+
+  // Augment with an intercept column of ones.
+  linalg::Matrix aug(design.rows(), n + 1);
+  for (std::size_t r = 0; r < design.rows(); ++r) {
+    auto dst = aug.row(r);
+    const auto src = design.row(r);
+    for (std::size_t c = 0; c < n; ++c) dst[c] = src[c];
+    dst[n] = 1.0;
+  }
+
+  // Ridge on feature coefficients only: augment rows sqrt(lambda)*e_i for
+  // i < n so the intercept stays unpenalized.
+  auto solve_with_ridge = [&aug, &y, n](double lambda) {
+    const std::size_t m = aug.rows();
+    linalg::Matrix raug(m + n, n + 1, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t c = 0; c <= n; ++c) raug(r, c) = aug(r, c);
+    const double s = std::sqrt(lambda);
+    for (std::size_t i = 0; i < n; ++i) raug(m + i, i) = s;
+    linalg::Vector rhs(m + n, 0.0);
+    for (std::size_t r = 0; r < m; ++r) rhs[r] = y[r];
+    return linalg::QR(std::move(raug)).solve(rhs);
+  };
+
+  linalg::Vector beta;
+  if (options.ridge_lambda > 0.0) {
+    beta = solve_with_ridge(options.ridge_lambda);
+  } else {
+    // The paper uses SciPy's linear least squares, which resolves rank
+    // deficiency via a minimum-norm (SVD) solution. We approximate that by
+    // retrying with a tiny ridge when plain QR reports a singular system —
+    // e.g. when co-runner feature columns are exactly collinear because a
+    // sweep used few distinct co-runner applications.
+    try {
+      linalg::Matrix copy = aug;
+      beta = linalg::QR(std::move(copy)).solve(y);
+    } catch (const coloc::runtime_error&) {
+      beta = solve_with_ridge(1e-8);
+    }
+  }
+
+  LinearModel model;
+  model.coef_.assign(n, 0.0);
+  model.intercept_ = beta[n];
+  if (options.standardize) {
+    // Map standardized-space coefficients back to raw feature units:
+    //   y = sum b_i (x_i - mu_i)/sd_i + b0
+    //     = sum (b_i/sd_i) x_i + (b0 - sum b_i mu_i / sd_i).
+    for (std::size_t i = 0; i < n; ++i) {
+      model.coef_[i] = beta[i] / scaler.stddevs()[i];
+      model.intercept_ -= beta[i] * scaler.means()[i] / scaler.stddevs()[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) model.coef_[i] = beta[i];
+  }
+  return model;
+}
+
+LinearModel LinearModel::from_params(std::vector<double> coefficients,
+                                     double intercept) {
+  COLOC_CHECK_MSG(!coefficients.empty(), "model needs coefficients");
+  LinearModel model;
+  model.coef_ = std::move(coefficients);
+  model.intercept_ = intercept;
+  return model;
+}
+
+double LinearModel::predict(std::span<const double> features) const {
+  COLOC_CHECK_MSG(features.size() == coef_.size(),
+                  "feature width mismatch in LinearModel::predict");
+  double y = intercept_;
+  for (std::size_t i = 0; i < coef_.size(); ++i)
+    y += coef_[i] * features[i];
+  return y;
+}
+
+std::string LinearModel::describe() const {
+  std::ostringstream os;
+  os << "LinearModel(n=" << coef_.size() << ", intercept=" << intercept_
+     << ")";
+  return os.str();
+}
+
+}  // namespace coloc::ml

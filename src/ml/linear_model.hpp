@@ -1,0 +1,46 @@
+// Linear regression model (Section III-C, Eq. 1):
+//   co-located execution time = sum_i coefficient_i * feature_i + constant
+//
+// Coefficients are fitted by linear least squares (Householder QR), the
+// numerical equivalent of the SciPy routine the paper used. An optional
+// ridge penalty stabilizes nearly collinear feature sets.
+#pragma once
+
+#include <span>
+
+#include "ml/model.hpp"
+
+namespace coloc::ml {
+
+struct LinearModelOptions {
+  /// Ridge penalty on the standardized coefficients; 0 = plain OLS.
+  double ridge_lambda = 0.0;
+  /// Standardize features before fitting (recommended; the intercept and
+  /// coefficients reported by coefficients() are mapped back to raw units).
+  bool standardize = true;
+};
+
+class LinearModel final : public Regressor {
+ public:
+  /// Fits on a design matrix of raw features (no intercept column; the
+  /// model adds its own constant term, as in Eq. 1).
+  static LinearModel fit(const linalg::Matrix& x, std::span<const double> y,
+                         const LinearModelOptions& options = {});
+
+  double predict(std::span<const double> features) const override;
+  std::string describe() const override;
+
+  /// Raw-unit coefficients (one per feature) and the constant term.
+  const std::vector<double>& coefficients() const { return coef_; }
+  double intercept() const { return intercept_; }
+
+  /// Reconstructs a model from stored parameters (deserialization).
+  static LinearModel from_params(std::vector<double> coefficients,
+                                 double intercept);
+
+ private:
+  std::vector<double> coef_;
+  double intercept_ = 0.0;
+};
+
+}  // namespace coloc::ml

@@ -1,0 +1,203 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ml/scg.hpp"
+
+namespace coloc::ml {
+
+MlpNetwork::MlpNetwork(std::size_t inputs, std::size_t hidden)
+    : inputs_(inputs), hidden_(hidden) {
+  COLOC_CHECK_MSG(inputs > 0 && hidden > 0, "MLP needs inputs and hidden > 0");
+  params_.assign(num_parameters(), 0.0);
+}
+
+std::size_t MlpNetwork::num_parameters() const {
+  return hidden_ * inputs_ + hidden_ + hidden_ + 1;
+}
+
+void MlpNetwork::set_parameters(std::span<const double> p) {
+  COLOC_CHECK_MSG(p.size() == params_.size(), "parameter size mismatch");
+  params_.assign(p.begin(), p.end());
+}
+
+void MlpNetwork::initialize(Rng& rng) {
+  const double w1_scale = std::sqrt(1.0 / static_cast<double>(inputs_));
+  const double w2_scale = std::sqrt(1.0 / static_cast<double>(hidden_));
+  double* w1 = params_.data() + w1_offset();
+  for (std::size_t i = 0; i < hidden_ * inputs_; ++i)
+    w1[i] = rng.normal(0.0, w1_scale);
+  double* b1 = params_.data() + b1_offset();
+  for (std::size_t i = 0; i < hidden_; ++i) b1[i] = 0.0;
+  double* w2 = params_.data() + w2_offset();
+  for (std::size_t i = 0; i < hidden_; ++i)
+    w2[i] = rng.normal(0.0, w2_scale);
+  params_[b2_offset()] = 0.0;
+}
+
+double MlpNetwork::forward(std::span<const double> x) const {
+  COLOC_CHECK_MSG(x.size() == inputs_, "input width mismatch");
+  const double* w1 = params_.data() + w1_offset();
+  const double* b1 = params_.data() + b1_offset();
+  const double* w2 = params_.data() + w2_offset();
+  double out = params_[b2_offset()];
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    double a = b1[h];
+    const double* wrow = w1 + h * inputs_;
+    for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * x[i];
+    out += w2[h] * std::tanh(a);
+  }
+  return out;
+}
+
+double MlpNetwork::loss_and_gradient(const linalg::Matrix& x,
+                                     std::span<const double> y,
+                                     double weight_decay,
+                                     std::span<double> grad) const {
+  COLOC_CHECK_MSG(x.rows() == y.size(), "batch size mismatch");
+  COLOC_CHECK_MSG(x.cols() == inputs_, "input width mismatch");
+  COLOC_CHECK_MSG(grad.size() == params_.size(), "gradient size mismatch");
+  const std::size_t m = x.rows();
+  COLOC_CHECK_MSG(m > 0, "empty batch");
+
+  const double* w1 = params_.data() + w1_offset();
+  const double* b1 = params_.data() + b1_offset();
+  const double* w2 = params_.data() + w2_offset();
+  double* g_w1 = grad.data() + w1_offset();
+  double* g_b1 = grad.data() + b1_offset();
+  double* g_w2 = grad.data() + w2_offset();
+  double& g_b2 = grad[b2_offset()];
+  std::fill(grad.begin(), grad.end(), 0.0);
+
+  std::vector<double> act(hidden_);
+  double loss = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto row = x.row(r);
+    double out = params_[b2_offset()];
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      double a = b1[h];
+      const double* wrow = w1 + h * inputs_;
+      for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * row[i];
+      act[h] = std::tanh(a);
+      out += w2[h] * act[h];
+    }
+    const double err = out - y[r];
+    loss += 0.5 * err * err;
+
+    // Backpropagate: dL/dout = err (per sample, scaled by 1/m at the end).
+    const double d_out = err * inv_m;
+    g_b2 += d_out;
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      g_w2[h] += d_out * act[h];
+      const double d_a = d_out * w2[h] * (1.0 - act[h] * act[h]);
+      g_b1[h] += d_a;
+      double* grow = g_w1 + h * inputs_;
+      for (std::size_t i = 0; i < inputs_; ++i) grow[i] += d_a * row[i];
+    }
+  }
+  loss *= inv_m;
+
+  if (weight_decay > 0.0) {
+    double wnorm = 0.0;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      wnorm += params_[i] * params_[i];
+      grad[i] += weight_decay * params_[i];
+    }
+    loss += 0.5 * weight_decay * wnorm;
+  }
+  return loss;
+}
+
+double MlpNetwork::loss(const linalg::Matrix& x, std::span<const double> y,
+                        double weight_decay) const {
+  COLOC_CHECK_MSG(x.rows() == y.size(), "batch size mismatch");
+  const std::size_t m = x.rows();
+  COLOC_CHECK_MSG(m > 0, "empty batch");
+  double loss = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double err = forward(x.row(r)) - y[r];
+    loss += 0.5 * err * err;
+  }
+  loss /= static_cast<double>(m);
+  if (weight_decay > 0.0) {
+    double wnorm = 0.0;
+    for (double p : params_) wnorm += p * p;
+    loss += 0.5 * weight_decay * wnorm;
+  }
+  return loss;
+}
+
+MlpRegressor MlpRegressor::fit(const linalg::Matrix& x,
+                               std::span<const double> y,
+                               const MlpOptions& options) {
+  COLOC_CHECK_MSG(x.rows() == y.size(), "row/target count mismatch");
+  COLOC_CHECK_MSG(x.rows() >= 2, "MLP needs at least two observations");
+
+  linalg::Matrix design = x;
+  Standardizer scaler = Standardizer::fit(design);
+  scaler.transform(design);
+  TargetScaler target = TargetScaler::fit(y);
+  const std::vector<double> z = target.transform_all(y);
+
+  Rng rng(options.seed);
+  MlpNetwork best(x.cols(), options.hidden_units);
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::size_t best_iters = 0;
+
+  const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    MlpNetwork net(x.cols(), options.hidden_units);
+    net.initialize(rng);
+
+    ScgObjective objective{
+        .dimension = net.num_parameters(),
+        .value_and_gradient =
+            [&](std::span<const double> p, std::span<double> g) {
+              net.set_parameters(p);
+              return net.loss_and_gradient(design, z, options.weight_decay,
+                                           g);
+            },
+    };
+    std::vector<double> p(net.parameters().begin(), net.parameters().end());
+    const ScgResult res = scg_minimize(objective, p,
+                                       {.max_iterations = options.max_iterations,
+                                        .gradient_tolerance =
+                                            options.gradient_tolerance});
+    net.set_parameters(res.solution);
+    const double final_loss = net.loss(design, z, options.weight_decay);
+    if (final_loss < best_loss) {
+      best_loss = final_loss;
+      best = net;
+      best_iters = res.iterations;
+    }
+  }
+
+  MlpRegressor model(std::move(best), std::move(scaler), std::move(target));
+  model.training_loss_ = best_loss;
+  model.iterations_used_ = best_iters;
+  return model;
+}
+
+double MlpRegressor::predict(std::span<const double> features) const {
+  COLOC_CHECK_MSG(features.size() == net_.num_inputs(),
+                  "feature width mismatch in MlpRegressor::predict");
+  std::vector<double> row(features.begin(), features.end());
+  scaler_.transform_row(row);
+  return target_.inverse(net_.forward(row));
+}
+
+std::string MlpRegressor::describe() const {
+  std::ostringstream os;
+  os << "MlpRegressor(inputs=" << net_.num_inputs()
+     << ", hidden=" << net_.num_hidden() << ", loss=" << training_loss_
+     << ", iters=" << iterations_used_ << ")";
+  return os.str();
+}
+
+}  // namespace coloc::ml

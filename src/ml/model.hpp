@@ -1,0 +1,32 @@
+// Common interface for the paper's two model families (Section III).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace coloc::ml {
+
+/// A trained regressor: maps a raw (unstandardized) feature row to a
+/// predicted target value. Implementations own their preprocessing.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  virtual double predict(std::span<const double> features) const = 0;
+
+  std::vector<double> predict_all(const linalg::Matrix& x) const {
+    std::vector<double> out(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+    return out;
+  }
+
+  virtual std::string describe() const = 0;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+}  // namespace coloc::ml

@@ -1,0 +1,50 @@
+// Principal component analysis for feature ranking (Section III-B).
+//
+// The paper selected its eight model features by running PCA over the
+// collected data and ranking features "according to variance of their
+// output". We provide both the decomposition and the per-feature importance
+// score used for that ranking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace coloc::ml {
+
+struct PcaResult {
+  /// Eigenvalues of the (standardized) covariance matrix, descending.
+  std::vector<double> explained_variance;
+  /// explained_variance normalized to sum to 1.
+  std::vector<double> explained_variance_ratio;
+  /// Column i is the i-th principal axis (loadings per feature).
+  linalg::Matrix components;
+  /// Feature means/stddevs used for centering (and scaling if standardized).
+  std::vector<double> means;
+  std::vector<double> scales;
+};
+
+struct PcaOptions {
+  /// Correlation PCA (standardize columns) rather than covariance PCA.
+  /// Recommended here: the paper's features span orders of magnitude.
+  bool standardize = true;
+};
+
+PcaResult pca_fit(const linalg::Matrix& x, const PcaOptions& options = {});
+
+/// Projects rows of x onto the first k principal components.
+linalg::Matrix pca_transform(const PcaResult& pca, const linalg::Matrix& x,
+                             std::size_t k);
+
+/// Per-feature importance: sum over components of
+/// |loading| * explained_variance_ratio. This is the ranking the paper uses
+/// to decide which features enter Table I.
+std::vector<double> pca_feature_importance(const PcaResult& pca);
+
+/// Convenience: returns feature names sorted by descending importance.
+std::vector<std::string> pca_rank_features(
+    const PcaResult& pca, const std::vector<std::string>& names);
+
+}  // namespace coloc::ml

@@ -1,0 +1,50 @@
+// Scaled Conjugate Gradient minimizer (Møller, Neural Networks 6(4), 1993).
+//
+// The paper trains its neural networks with "a scaled conjugate gradient
+// numerical method" (Section III-D); this is a faithful implementation of
+// Møller's algorithm: conjugate directions with a Levenberg-Marquardt style
+// scaling that avoids explicit line searches.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace coloc::ml {
+
+/// Differentiable objective: fills `grad` and returns the value at `p`.
+struct ScgObjective {
+  std::size_t dimension = 0;
+  std::function<double(std::span<const double> p, std::span<double> grad)>
+      value_and_gradient;
+};
+
+struct ScgOptions {
+  std::size_t max_iterations = 300;
+  /// Stop when the gradient's 2-norm falls below this.
+  double gradient_tolerance = 1e-7;
+  /// Stop when |f_k - f_{k+1}| relative improvement stays below this for
+  /// `stall_patience` consecutive iterations.
+  double value_tolerance = 1e-12;
+  std::size_t stall_patience = 8;
+  /// Initial scaling parameters (Møller's sigma and lambda).
+  double sigma0 = 1e-5;
+  double lambda0 = 1e-7;
+};
+
+struct ScgResult {
+  std::vector<double> solution;
+  double value = 0.0;
+  double gradient_norm = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes the objective starting from `initial` (size must match
+/// objective.dimension).
+ScgResult scg_minimize(const ScgObjective& objective,
+                       std::span<const double> initial,
+                       const ScgOptions& options = {});
+
+}  // namespace coloc::ml

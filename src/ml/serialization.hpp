@@ -1,0 +1,36 @@
+// Trained-model persistence.
+//
+// A resource manager trains once (minutes) and predicts for weeks, so
+// deployable models must survive process restarts. Format: a line-based
+// text container — human-inspectable, versioned, locale-independent
+// (numbers are printed with max_digits10 so round-trips are exact).
+//
+//   coloc-model v1
+//   type linear|mlp
+//   ... type-specific key/value lines ...
+//   end
+//
+// Supported models: LinearModel and MlpRegressor (the paper's two
+// techniques). KnnRegressor intentionally is not — it would serialize the
+// whole training set; persist the campaign CSV instead.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ml/model.hpp"
+
+namespace coloc::ml {
+
+/// Writes a trained model. Throws coloc::invalid_argument_error for model
+/// types without serialization support.
+void save_model(std::ostream& os, const Regressor& model);
+
+/// Reads a model written by save_model.
+RegressorPtr load_model(std::istream& is);
+
+/// File-path conveniences.
+void save_model_file(const std::string& path, const Regressor& model);
+RegressorPtr load_model_file(const std::string& path);
+
+}  // namespace coloc::ml

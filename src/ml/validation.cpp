@@ -1,0 +1,102 @@
+#include "ml/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "ml/metrics.hpp"
+
+namespace coloc::ml {
+
+SplitIndices random_split(std::size_t n, double holdout_fraction,
+                          std::uint64_t seed) {
+  COLOC_CHECK_MSG(holdout_fraction > 0.0 && holdout_fraction < 1.0,
+                  "holdout fraction must be in (0, 1)");
+  COLOC_CHECK_MSG(n >= 4, "too few rows to split");
+  Rng rng(seed);
+  std::vector<std::size_t> perm = rng.permutation(n);
+  std::size_t n_test = static_cast<std::size_t>(
+      std::round(holdout_fraction * static_cast<double>(n)));
+  n_test = std::clamp<std::size_t>(n_test, 1, n - 2);
+  SplitIndices split;
+  split.test.assign(perm.begin(), perm.begin() + static_cast<long>(n_test));
+  split.train.assign(perm.begin() + static_cast<long>(n_test), perm.end());
+  return split;
+}
+
+ValidationResult repeated_subsampling_validation(
+    const Dataset& data, std::span<const std::size_t> columns,
+    const ModelFactory& factory, const ValidationOptions& options) {
+  COLOC_CHECK_MSG(options.partitions > 0, "need at least one partition");
+  COLOC_CHECK_MSG(!columns.empty(), "need at least one feature column");
+  COLOC_CHECK_MSG(data.num_rows() >= 10, "dataset too small to validate");
+
+  const std::size_t P = options.partitions;
+  std::vector<double> train_mpe(P), test_mpe(P), train_nrmse(P),
+      test_nrmse(P);
+  std::vector<std::vector<TaggedPrediction>> collected(P);
+
+  auto run_partition = [&](std::size_t p) {
+    // Derive a per-partition seed so results are independent of scheduling.
+    const std::uint64_t seed = options.seed * 0x9e3779b97f4a7c15ULL +
+                               static_cast<std::uint64_t>(p) * 0x61c88647ULL;
+    const SplitIndices split =
+        random_split(data.num_rows(), options.holdout_fraction, seed);
+
+    const linalg::Matrix x_train = data.design_matrix(split.train, columns);
+    const std::vector<double> y_train = data.target_subset(split.train);
+    const linalg::Matrix x_test = data.design_matrix(split.test, columns);
+    const std::vector<double> y_test = data.target_subset(split.test);
+
+    const RegressorPtr model = factory(x_train, y_train);
+    COLOC_CHECK_MSG(model != nullptr, "model factory returned null");
+
+    const std::vector<double> pred_train = model->predict_all(x_train);
+    const std::vector<double> pred_test = model->predict_all(x_test);
+
+    train_mpe[p] = mean_percent_error(pred_train, y_train);
+    test_mpe[p] = mean_percent_error(pred_test, y_test);
+    train_nrmse[p] = normalized_rmse(pred_train, y_train);
+    test_nrmse[p] = normalized_rmse(pred_test, y_test);
+
+    if (options.collect_test_predictions) {
+      auto& bucket = collected[p];
+      bucket.reserve(split.test.size());
+      for (std::size_t i = 0; i < split.test.size(); ++i) {
+        bucket.push_back(TaggedPrediction{data.tag(split.test[i]), y_test[i],
+                                          pred_test[i]});
+      }
+    }
+  };
+
+  if (options.parallel) {
+    parallel_for(global_pool(), P, run_partition, 1);
+  } else {
+    for (std::size_t p = 0; p < P; ++p) run_partition(p);
+  }
+
+  ValidationResult result;
+  result.partitions = P;
+  result.train_mpe = mean(train_mpe);
+  result.test_mpe = mean(test_mpe);
+  result.train_nrmse = mean(train_nrmse);
+  result.test_nrmse = mean(test_nrmse);
+  result.test_mpe_stddev = stddev(test_mpe);
+  result.test_nrmse_stddev = stddev(test_nrmse);
+  if (options.collect_test_predictions) {
+    std::size_t total = 0;
+    for (const auto& bucket : collected) total += bucket.size();
+    result.test_predictions.reserve(total);
+    for (auto& bucket : collected) {
+      result.test_predictions.insert(result.test_predictions.end(),
+                                     bucket.begin(), bucket.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace coloc::ml

@@ -1,0 +1,71 @@
+// Repeated random sub-sampling validation (Section IV-B4).
+//
+// The paper withholds a random 30% of the data from training, evaluates on
+// it, and repeats the partitioning 100 times, averaging the error metrics
+// (a bootstrap-style protocol after Efron & Tibshirani). This module
+// implements that protocol generically over any model factory and runs the
+// partitions in parallel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/model.hpp"
+
+namespace coloc::ml {
+
+/// Builds a trained model from a design matrix and targets. The factory is
+/// called once per partition with that partition's training split.
+using ModelFactory = std::function<RegressorPtr(
+    const linalg::Matrix& x_train, std::span<const double> y_train)>;
+
+struct ValidationOptions {
+  std::size_t partitions = 100;   // paper: one hundred
+  double holdout_fraction = 0.3;  // paper: thirty percent withheld
+  std::uint64_t seed = 7;
+  bool parallel = true;
+  /// Collect per-sample held-out predictions (needed for Figure 5b).
+  bool collect_test_predictions = false;
+};
+
+/// One held-out prediction, tagged with the dataset row's provenance string.
+struct TaggedPrediction {
+  std::string tag;
+  double actual = 0.0;
+  double predicted = 0.0;
+};
+
+struct ValidationResult {
+  // Averages over partitions.
+  double train_mpe = 0.0;
+  double test_mpe = 0.0;
+  double train_nrmse = 0.0;
+  double test_nrmse = 0.0;
+  // Across-partition standard deviations (the paper reports these are at
+  // most a quarter of a percent).
+  double test_mpe_stddev = 0.0;
+  double test_nrmse_stddev = 0.0;
+  std::size_t partitions = 0;
+  std::vector<TaggedPrediction> test_predictions;  // optional, see options
+};
+
+/// Runs the protocol: for each partition, split rows 70/30 (train/test),
+/// train via `factory` on the training design matrix built from `columns`,
+/// then score MPE and NRMSE on both splits.
+ValidationResult repeated_subsampling_validation(
+    const Dataset& data, std::span<const std::size_t> columns,
+    const ModelFactory& factory, const ValidationOptions& options = {});
+
+/// Deterministic train/test index split helper (exposed for tests).
+struct SplitIndices {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+SplitIndices random_split(std::size_t n, double holdout_fraction,
+                          std::uint64_t seed);
+
+}  // namespace coloc::ml

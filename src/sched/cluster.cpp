@@ -1,0 +1,274 @@
+#include "sched/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sched/energy.hpp"
+
+namespace coloc::sched {
+
+std::string to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case PlacementPolicy::kInterferenceAware: return "interference-aware";
+  }
+  return "?";
+}
+
+ClusterSimulator::ClusterSimulator(ClusterConfig config,
+                                   sim::AppMrcLibrary* library,
+                                   const core::ColocationPredictor* predictor,
+                                   const core::BaselineLibrary* baselines)
+    : config_(std::move(config)), library_(library), predictor_(predictor),
+      baselines_(baselines) {
+  COLOC_CHECK_MSG(library_ != nullptr, "cluster needs an MRC library");
+  COLOC_CHECK_MSG(config_.nodes >= 1, "cluster needs at least one node");
+  COLOC_CHECK_MSG(config_.pstate_index < config_.node.pstates.size(),
+                  "P-state index out of range");
+  sim::validate(config_.node);
+}
+
+void ClusterSimulator::solve_node(Node& node) {
+  node.rates.assign(node.residents.size(), 0.0);
+  if (node.residents.empty()) return;
+  std::vector<sim::ScheduledApp> apps;
+  apps.reserve(node.residents.size());
+  for (const auto& r : node.residents) {
+    apps.push_back(sim::ScheduledApp{r.app, &library_->curve(*r.app)});
+  }
+  const sim::ContentionSolution solution = sim::solve_contention(
+      config_.node, config_.node.pstates[config_.pstate_index].frequency_ghz,
+      apps, config_.contention);
+  for (std::size_t i = 0; i < node.residents.size(); ++i) {
+    node.rates[i] = solution.apps[i].instructions_per_second;
+  }
+}
+
+double ClusterSimulator::alone_time(const sim::ApplicationSpec& app) {
+  const auto it = alone_time_cache_.find(app.name);
+  if (it != alone_time_cache_.end()) return it->second;
+  std::vector<sim::ScheduledApp> apps = {
+      sim::ScheduledApp{&app, &library_->curve(app)}};
+  const sim::ContentionSolution solution = sim::solve_contention(
+      config_.node, config_.node.pstates[config_.pstate_index].frequency_ghz,
+      apps, config_.contention);
+  const double t = solution.apps[0].execution_time_s;
+  alone_time_cache_[app.name] = t;
+  return t;
+}
+
+std::size_t ClusterSimulator::pick_node(const std::vector<Node>& nodes,
+                                        const ClusterJob& job,
+                                        PlacementPolicy policy) const {
+  const std::size_t cores = config_.node.cores;
+  std::size_t best = nodes.size();
+
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: {
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (nodes[n].residents.size() < cores) return n;
+      }
+      return nodes.size();
+    }
+    case PlacementPolicy::kLeastLoaded: {
+      std::size_t lowest = cores;
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        if (nodes[n].residents.size() < lowest) {
+          lowest = nodes[n].residents.size();
+          best = n;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kInterferenceAware: {
+      COLOC_CHECK_MSG(predictor_ != nullptr && baselines_ != nullptr,
+                      "interference-aware placement needs a predictor and "
+                      "baselines");
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const Node& node = nodes[n];
+        if (node.residents.size() >= cores) continue;
+        // Predicted slowdown of the new job on this node plus the summed
+        // predicted slowdowns of residents after it joins.
+        double cost = 0.0;
+        std::vector<const core::BaselineProfile*> co_for_new;
+        for (const auto& r : node.residents) {
+          co_for_new.push_back(&baselines_->at(r.app->name));
+        }
+        cost += co_for_new.empty()
+                    ? 1.0
+                    : predictor_->predict_slowdown(
+                          baselines_->at(job.app.name), co_for_new,
+                          config_.pstate_index);
+        for (std::size_t i = 0; i < node.residents.size(); ++i) {
+          std::vector<const core::BaselineProfile*> coapps;
+          for (std::size_t k = 0; k < node.residents.size(); ++k) {
+            if (k != i)
+              coapps.push_back(
+                  &baselines_->at(node.residents[k].app->name));
+          }
+          coapps.push_back(&baselines_->at(job.app.name));
+          cost += predictor_->predict_slowdown(
+              baselines_->at(node.residents[i].app->name), coapps,
+              config_.pstate_index);
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = n;
+        }
+      }
+      return best;
+    }
+  }
+  return best;
+}
+
+ClusterOutcome ClusterSimulator::run(const std::vector<ClusterJob>& jobs,
+                                     PlacementPolicy policy) {
+  ClusterOutcome outcome;
+  outcome.policy = policy;
+  outcome.jobs.resize(jobs.size());
+  if (jobs.empty()) return outcome;
+
+  // Sort arrival order (stable by index for determinism).
+  std::vector<std::size_t> order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&jobs](std::size_t a, std::size_t b) {
+                     return jobs[a].arrival_s < jobs[b].arrival_s;
+                   });
+
+  std::vector<Node> nodes(config_.nodes);
+  std::queue<std::size_t> waiting;  // job indices queued for a core
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+  double done_jobs = 0.0;
+  double slowdown_sum = 0.0;
+  double wait_sum = 0.0;
+
+  auto place_waiting_jobs = [&] {
+    bool placed_any = true;
+    while (placed_any && !waiting.empty()) {
+      placed_any = false;
+      const std::size_t job_index = waiting.front();
+      const std::size_t n = pick_node(nodes, jobs[job_index], policy);
+      if (n < nodes.size()) {
+        waiting.pop();
+        RunningJob running;
+        running.job_index = job_index;
+        running.app = &jobs[job_index].app;
+        running.remaining_instructions = jobs[job_index].app.instructions;
+        nodes[n].residents.push_back(running);
+        solve_node(nodes[n]);
+        JobRecord& record = outcome.jobs[job_index];
+        record.job_index = job_index;
+        record.node = n;
+        record.arrival_s = jobs[job_index].arrival_s;
+        record.start_s = now;
+        wait_sum += now - record.arrival_s;
+        placed_any = true;
+      }
+    }
+  };
+
+  while (done_jobs < static_cast<double>(jobs.size())) {
+    // Next arrival and next completion times.
+    const double arrival_t =
+        next_arrival < order.size() ? jobs[order[next_arrival]].arrival_s
+                                    : std::numeric_limits<double>::infinity();
+    double completion_t = std::numeric_limits<double>::infinity();
+    for (const auto& node : nodes) {
+      for (std::size_t i = 0; i < node.residents.size(); ++i) {
+        if (node.rates[i] <= 0.0) continue;
+        completion_t = std::min(
+            completion_t,
+            now + node.residents[i].remaining_instructions / node.rates[i]);
+      }
+    }
+    const double next_t = std::min(arrival_t, completion_t);
+    COLOC_CHECK_MSG(std::isfinite(next_t), "cluster simulation stalled");
+
+    // Advance work and accumulate energy across [now, next_t].
+    const double dt = next_t - now;
+    if (dt > 0.0) {
+      for (auto& node : nodes) {
+        for (std::size_t i = 0; i < node.residents.size(); ++i) {
+          node.residents[i].remaining_instructions -= node.rates[i] * dt;
+        }
+        if (!node.residents.empty()) {
+          outcome.total_energy_j +=
+              energy_j(config_.node, config_.pstate_index,
+                       node.residents.size(), dt);
+        }
+      }
+      now = next_t;
+    } else {
+      now = next_t;
+    }
+
+    // Process completions at `now` (tolerate float dust).
+    for (auto& node : nodes) {
+      bool changed = false;
+      for (std::size_t i = 0; i < node.residents.size();) {
+        if (node.residents[i].remaining_instructions <= 1e-3 * 1e9) {
+          const std::size_t job_index = node.residents[i].job_index;
+          JobRecord& record = outcome.jobs[job_index];
+          record.finish_s = now;
+          const double elapsed = now - record.start_s;
+          record.slowdown = elapsed / alone_time(jobs[job_index].app);
+          slowdown_sum += record.slowdown;
+          outcome.max_slowdown =
+              std::max(outcome.max_slowdown, record.slowdown);
+          done_jobs += 1.0;
+          node.residents.erase(node.residents.begin() +
+                               static_cast<long>(i));
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+      if (changed) solve_node(node);
+    }
+
+    // Process arrivals at `now`.
+    while (next_arrival < order.size() &&
+           jobs[order[next_arrival]].arrival_s <= now + 1e-12) {
+      waiting.push(order[next_arrival]);
+      ++next_arrival;
+    }
+    place_waiting_jobs();
+  }
+
+  outcome.makespan_s = now;
+  outcome.mean_slowdown = slowdown_sum / static_cast<double>(jobs.size());
+  outcome.mean_wait_s = wait_sum / static_cast<double>(jobs.size());
+  return outcome;
+}
+
+std::vector<ClusterJob> make_job_stream(
+    const std::vector<sim::ApplicationSpec>& apps, std::size_t count,
+    double mean_interarrival_s, std::uint64_t seed) {
+  COLOC_CHECK_MSG(!apps.empty(), "job stream needs applications");
+  COLOC_CHECK_MSG(mean_interarrival_s >= 0.0,
+                  "interarrival time cannot be negative");
+  Rng rng(seed);
+  std::vector<ClusterJob> jobs;
+  jobs.reserve(count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    ClusterJob job;
+    job.app = apps[i % apps.size()];
+    job.arrival_s = t;
+    if (mean_interarrival_s > 0.0)
+      t += rng.exponential(1.0 / mean_interarrival_s);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace coloc::sched

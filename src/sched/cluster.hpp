@@ -1,0 +1,112 @@
+// Event-driven cluster batch simulation.
+//
+// The paper motivates its models with "large scale computer systems" where
+// schedulers trade consolidation (power) against interference (QoS). The
+// static Scheduler (scheduler.hpp) evaluates one placement; this module
+// simulates the *dynamic* case: jobs arrive over time, run co-located on
+// multicore nodes, and finish — with every node's contention re-solved as
+// its membership changes. Job progress follows a processor-sharing model:
+// between events each resident executes at the instruction rate given by
+// the contention fixed point for the node's current co-location.
+//
+// Placement policies:
+//   kFirstFit           first node with a free core (max consolidation)
+//   kLeastLoaded        node with the most free cores (max spreading)
+//   kInterferenceAware  node minimizing the predicted slowdown of the new
+//                       job plus the predicted slowdown increase of the
+//                       residents it joins (requires a trained predictor)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "sim/app_model.hpp"
+#include "sim/contention.hpp"
+#include "sim/machine.hpp"
+
+namespace coloc::sched {
+
+enum class PlacementPolicy { kFirstFit, kLeastLoaded, kInterferenceAware };
+std::string to_string(PlacementPolicy policy);
+
+/// One job submitted to the cluster.
+struct ClusterJob {
+  sim::ApplicationSpec app;
+  double arrival_s = 0.0;
+};
+
+struct ClusterConfig {
+  sim::MachineConfig node;
+  std::size_t nodes = 4;
+  std::size_t pstate_index = 0;
+  sim::ContentionOptions contention;
+};
+
+/// Per-job outcome.
+struct JobRecord {
+  std::size_t job_index = 0;
+  std::size_t node = 0;
+  double arrival_s = 0.0;
+  double start_s = 0.0;   // placement time (>= arrival when queued)
+  double finish_s = 0.0;
+  /// Observed execution time / run-alone time at the cluster's P-state.
+  double slowdown = 1.0;
+};
+
+struct ClusterOutcome {
+  PlacementPolicy policy = PlacementPolicy::kFirstFit;
+  std::vector<JobRecord> jobs;
+  double makespan_s = 0.0;
+  double mean_slowdown = 0.0;
+  double max_slowdown = 0.0;
+  double mean_wait_s = 0.0;       // queueing delay before placement
+  double total_energy_j = 0.0;    // nodes consume static power while any
+                                  // job is resident, plus per-core dynamic
+};
+
+/// Simulates a job stream through the cluster under one policy.
+/// `predictor`/`baselines` are required for kInterferenceAware and used
+/// only for placement decisions — ground truth always comes from the
+/// contention solver.
+class ClusterSimulator {
+ public:
+  ClusterSimulator(ClusterConfig config, sim::AppMrcLibrary* library,
+                   const core::ColocationPredictor* predictor = nullptr,
+                   const core::BaselineLibrary* baselines = nullptr);
+
+  ClusterOutcome run(const std::vector<ClusterJob>& jobs,
+                     PlacementPolicy policy);
+
+ private:
+  struct RunningJob {
+    std::size_t job_index = 0;
+    const sim::ApplicationSpec* app = nullptr;
+    double remaining_instructions = 0.0;
+  };
+  struct Node {
+    std::vector<RunningJob> residents;
+    std::vector<double> rates;  // instructions/s per resident (solved)
+  };
+
+  void solve_node(Node& node);
+  double alone_time(const sim::ApplicationSpec& app);
+  std::size_t pick_node(const std::vector<Node>& nodes,
+                        const ClusterJob& job, PlacementPolicy policy) const;
+
+  ClusterConfig config_;
+  sim::AppMrcLibrary* library_;
+  const core::ColocationPredictor* predictor_;
+  const core::BaselineLibrary* baselines_;
+  std::map<std::string, double> alone_time_cache_;
+};
+
+/// Poisson-ish arrival stream helper: `count` jobs drawn round-robin from
+/// `apps`, with exponential inter-arrival gaps of the given mean.
+std::vector<ClusterJob> make_job_stream(
+    const std::vector<sim::ApplicationSpec>& apps, std::size_t count,
+    double mean_interarrival_s, std::uint64_t seed);
+
+}  // namespace coloc::sched

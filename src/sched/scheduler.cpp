@@ -1,0 +1,174 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "sched/energy.hpp"
+
+namespace coloc::sched {
+
+std::string to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kPacked: return "packed";
+    case Policy::kSpread: return "spread";
+    case Policy::kInterferenceAware: return "interference-aware";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(const sim::MachineConfig& machine,
+                     const core::ColocationPredictor* predictor,
+                     SchedulerConfig config)
+    : machine_(machine), predictor_(predictor), config_(config) {
+  COLOC_CHECK_MSG(config_.max_slowdown >= 1.0,
+                  "QoS slowdown bound must be >= 1");
+  COLOC_CHECK_MSG(config_.pstate_index < machine_.pstates.size(),
+                  "P-state index out of range");
+}
+
+double Scheduler::predicted_slowdown_of_group(
+    const std::vector<Job>& jobs, const std::vector<std::size_t>& group,
+    std::size_t subject_position) const {
+  COLOC_CHECK_MSG(predictor_ != nullptr,
+                  "interference-aware policy needs a predictor");
+  const Job& subject = jobs[group[subject_position]];
+  std::vector<const core::BaselineProfile*> coapps;
+  coapps.reserve(group.size() - 1);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i == subject_position) continue;
+    coapps.push_back(jobs[group[i]].baseline);
+  }
+  if (coapps.empty()) return 1.0;
+  return predictor_->predict_slowdown(*subject.baseline, coapps,
+                                      config_.pstate_index);
+}
+
+std::vector<NodeAssignment> Scheduler::assign(const std::vector<Job>& jobs,
+                                              Policy policy) const {
+  for (const Job& job : jobs) {
+    COLOC_CHECK_MSG(job.baseline != nullptr, "job missing baseline profile");
+  }
+  std::vector<NodeAssignment> nodes;
+  auto open_node = [&nodes, this]() -> NodeAssignment& {
+    COLOC_CHECK_MSG(nodes.size() < config_.max_nodes,
+                    "schedule exceeds the node budget");
+    nodes.emplace_back();
+    return nodes.back();
+  };
+
+  switch (policy) {
+    case Policy::kPacked: {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (nodes.empty() ||
+            nodes.back().job_indices.size() >= machine_.cores) {
+          open_node();
+        }
+        nodes.back().job_indices.push_back(j);
+      }
+      break;
+    }
+    case Policy::kSpread: {
+      // Use as many nodes as packing would, but round-robin jobs across
+      // them so each node is as lightly loaded as possible.
+      const std::size_t needed =
+          (jobs.size() + machine_.cores - 1) / machine_.cores;
+      COLOC_CHECK_MSG(needed <= config_.max_nodes,
+                      "schedule exceeds the node budget");
+      nodes.resize(needed);
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        nodes[j % needed].job_indices.push_back(j);
+      }
+      break;
+    }
+    case Policy::kInterferenceAware: {
+      // Greedy with QoS check: try nodes in order; take the first where
+      // adding the job keeps every co-resident's predicted slowdown within
+      // the bound; prefer the feasible node with the least predicted harm.
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        std::size_t best_node = nodes.size();
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+          if (nodes[n].job_indices.size() >= machine_.cores) continue;
+          std::vector<std::size_t> group = nodes[n].job_indices;
+          group.push_back(j);
+          bool feasible = true;
+          double cost = 0.0;
+          for (std::size_t pos = 0; pos < group.size(); ++pos) {
+            const double s = predicted_slowdown_of_group(jobs, group, pos);
+            if (s > config_.max_slowdown) {
+              feasible = false;
+              break;
+            }
+            cost += s;
+          }
+          if (feasible && cost < best_cost) {
+            best_cost = cost;
+            best_node = n;
+          }
+        }
+        if (best_node == nodes.size()) open_node();
+        nodes[best_node].job_indices.push_back(j);
+      }
+      break;
+    }
+  }
+  return nodes;
+}
+
+ScheduleOutcome Scheduler::evaluate(const std::vector<Job>& jobs,
+                                    Policy policy,
+                                    sim::Simulator& simulator) const {
+  ScheduleOutcome outcome;
+  outcome.policy = policy;
+  outcome.nodes = assign(jobs, policy);
+  outcome.nodes_used = outcome.nodes.size();
+  if (jobs.empty()) return outcome;
+
+  double predicted_sum = 0.0;
+  double actual_sum = 0.0;
+
+  for (const NodeAssignment& node : outcome.nodes) {
+    // Replay: measure each resident against the others on its node.
+    double node_finish_s = 0.0;
+    for (std::size_t pos = 0; pos < node.job_indices.size(); ++pos) {
+      const Job& subject = jobs[node.job_indices[pos]];
+      std::vector<sim::ApplicationSpec> coapps;
+      std::vector<const core::BaselineProfile*> co_baselines;
+      for (std::size_t i = 0; i < node.job_indices.size(); ++i) {
+        if (i == pos) continue;
+        coapps.push_back(jobs[node.job_indices[i]].app);
+        co_baselines.push_back(jobs[node.job_indices[i]].baseline);
+      }
+      const sim::RunMeasurement m = simulator.run_colocated(
+          subject.app, coapps, config_.pstate_index);
+      const double baseline =
+          subject.baseline->time_at(config_.pstate_index);
+      const double actual = m.execution_time_s / baseline;
+      actual_sum += actual;
+      outcome.max_actual_slowdown =
+          std::max(outcome.max_actual_slowdown, actual);
+      node_finish_s = std::max(node_finish_s, m.execution_time_s);
+
+      if (predictor_ != nullptr) {
+        predicted_sum += co_baselines.empty()
+                             ? 1.0
+                             : predictor_->predict_slowdown(
+                                   *subject.baseline, co_baselines,
+                                   config_.pstate_index);
+      }
+    }
+    outcome.total_energy_j +=
+        energy_j(machine_, config_.pstate_index, node.job_indices.size(),
+                 node_finish_s);
+    outcome.makespan_s = std::max(outcome.makespan_s, node_finish_s);
+  }
+
+  const double n_jobs = static_cast<double>(jobs.size());
+  outcome.actual_mean_slowdown = actual_sum / n_jobs;
+  outcome.predicted_mean_slowdown =
+      predictor_ != nullptr ? predicted_sum / n_jobs : 0.0;
+  return outcome;
+}
+
+}  // namespace coloc::sched

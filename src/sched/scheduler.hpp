@@ -1,0 +1,97 @@
+// Interference-aware consolidation scheduling — the practical application
+// motivating the paper (Sections I and VI): "accurate co-location
+// performance degradation could be integrated into intelligent application
+// scheduling ... increasing opportunities for server consolidation to save
+// power while still maintaining quality of service constraints."
+//
+// Given a batch of jobs and a pool of identical multicore nodes, three
+// policies assign jobs to nodes:
+//   kPacked             fill each node before opening the next (max
+//                       consolidation, ignores interference)
+//   kSpread             round-robin across all nodes (min interference,
+//                       max nodes powered)
+//   kInterferenceAware  greedy: place each job on the open node where the
+//                       predicted slowdown (its own + the increase for jobs
+//                       already there) stays within the QoS bound; open a
+//                       new node only when no placement fits.
+//
+// The simulator then replays each node's final group to score the policies
+// on *actual* degradation and energy — predictions steer, ground truth
+// judges.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/methodology.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::sched {
+
+enum class Policy { kPacked, kSpread, kInterferenceAware };
+std::string to_string(Policy policy);
+
+struct SchedulerConfig {
+  /// QoS bound: maximum acceptable predicted slowdown factor per job
+  /// (e.g. 1.25 = at most 25% degradation). Only kInterferenceAware uses it.
+  double max_slowdown = 1.25;
+  /// Upper bound on nodes; scheduling fails if exceeded.
+  std::size_t max_nodes = 64;
+  /// P-state every node runs at.
+  std::size_t pstate_index = 0;
+};
+
+/// One job: an application plus its baseline profile.
+struct Job {
+  sim::ApplicationSpec app;
+  const core::BaselineProfile* baseline = nullptr;
+};
+
+struct NodeAssignment {
+  std::vector<std::size_t> job_indices;  // indices into the job list
+};
+
+struct ScheduleOutcome {
+  Policy policy;
+  std::vector<NodeAssignment> nodes;
+  std::size_t nodes_used = 0;
+  /// Mean predicted slowdown across jobs (from the model).
+  double predicted_mean_slowdown = 0.0;
+  /// Mean actual slowdown (from replaying the schedule in the simulator).
+  double actual_mean_slowdown = 0.0;
+  double max_actual_slowdown = 0.0;
+  /// Total energy to complete all jobs (nodes run until their slowest job
+  /// finishes, then power off).
+  double total_energy_j = 0.0;
+  /// Makespan: time until the last node finishes.
+  double makespan_s = 0.0;
+};
+
+class Scheduler {
+ public:
+  /// `predictor` may be null for the baseline policies (they ignore it);
+  /// kInterferenceAware requires it.
+  Scheduler(const sim::MachineConfig& machine,
+            const core::ColocationPredictor* predictor,
+            SchedulerConfig config = {});
+
+  /// Assigns jobs to nodes under the policy. Does not simulate.
+  std::vector<NodeAssignment> assign(const std::vector<Job>& jobs,
+                                     Policy policy) const;
+
+  /// Assigns and then replays each node in the simulator, scoring actual
+  /// slowdowns and energy.
+  ScheduleOutcome evaluate(const std::vector<Job>& jobs, Policy policy,
+                           sim::Simulator& simulator) const;
+
+ private:
+  double predicted_slowdown_of_group(
+      const std::vector<Job>& jobs, const std::vector<std::size_t>& group,
+      std::size_t subject_position) const;
+
+  sim::MachineConfig machine_;
+  const core::ColocationPredictor* predictor_;
+  SchedulerConfig config_;
+};
+
+}  // namespace coloc::sched

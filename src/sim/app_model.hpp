@@ -1,0 +1,97 @@
+// Application behaviour models for the paper's eleven benchmark workloads
+// (Table III) and the MRC library that profiles them.
+//
+// Each application is a behavioural spec: total dynamic instructions, base
+// (non-memory) CPI, memory references per instruction, memory-level
+// parallelism, a compulsory miss rate, and a phased synthetic trace whose
+// reuse profile determines the miss-ratio curve. The eleven presets are
+// grouped into the paper's four memory-intensity classes, with intensities
+// spread over orders of magnitude between classes exactly as Section IV-B1
+// describes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/mrc.hpp"
+#include "sim/trace.hpp"
+
+namespace coloc::sim {
+
+/// Memory-intensity class: I is the most memory intensive, IV the least.
+enum class MemoryClass { kClassI = 1, kClassII, kClassIII, kClassIV };
+
+std::string to_string(MemoryClass c);
+
+enum class Suite { kParsec, kNas };
+
+std::string to_string(Suite s);
+
+struct ApplicationSpec {
+  std::string name;
+  Suite suite = Suite::kParsec;
+  MemoryClass memory_class = MemoryClass::kClassIV;
+
+  /// Total dynamic instructions of one run (sized so baseline times land in
+  /// the paper's 150-1000 s window).
+  double instructions = 500e9;
+  /// Cycles per instruction excluding memory stalls beyond the private
+  /// caches (those stalls are added by the contention model).
+  double cpi_base = 0.8;
+  /// Memory references per instruction (loads+stores reaching the caches).
+  double refs_per_instruction = 0.25;
+  /// Memory-level parallelism: outstanding-miss overlap factor that divides
+  /// the per-miss stall penalty (>= 1).
+  double mlp = 2.0;
+  /// Steady-state compulsory misses per instruction (cold/coherence traffic
+  /// independent of cache capacity).
+  double compulsory_misses_per_instruction = 1e-6;
+
+  TraceSpec trace;
+
+  /// References to profile when building this app's MRC; defaults scale
+  /// with the largest phase working set.
+  std::size_t profile_references = 0;
+
+  std::size_t suggested_profile_length() const;
+};
+
+/// The eleven-application benchmark suite of Table III: PARSEC (P) and
+/// NAS (N) members across four memory-intensity classes.
+std::vector<ApplicationSpec> benchmark_suite();
+
+/// The four training co-runner applications of Section IV-B3, one per class:
+/// cg (I), sp (II), fluidanimate (III), ep (IV).
+std::vector<std::string> training_coapp_names();
+
+/// Looks up a preset application by name; throws if unknown.
+ApplicationSpec find_application(const std::string& name);
+
+/// Profiles traces into warm miss-ratio curves, caching by application
+/// name. Thread-safe for concurrent reads after profile_all().
+class AppMrcLibrary {
+ public:
+  AppMrcLibrary() = default;
+
+  /// Profiles every application in `apps` (in parallel) and caches curves.
+  void profile_all(const std::vector<ApplicationSpec>& apps,
+                   std::uint64_t seed = 2024);
+
+  /// Returns the cached curve, profiling on demand if missing.
+  const MissRatioCurve& curve(const ApplicationSpec& app);
+
+  bool contains(const std::string& name) const {
+    return curves_.count(name) > 0;
+  }
+  std::size_t size() const { return curves_.size(); }
+
+ private:
+  MissRatioCurve profile_one(const ApplicationSpec& app,
+                             std::uint64_t seed) const;
+
+  std::map<std::string, MissRatioCurve> curves_;
+};
+
+}  // namespace coloc::sim

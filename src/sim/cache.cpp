@@ -1,0 +1,80 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+Cache::Cache(CacheConfig config) : config_(std::move(config)) {
+  COLOC_CHECK_MSG(config_.line_bytes > 0, "line size must be positive");
+  COLOC_CHECK_MSG(config_.size_bytes % config_.line_bytes == 0,
+                  "cache size must be a multiple of the line size");
+  COLOC_CHECK_MSG(config_.associativity > 0, "associativity must be positive");
+  COLOC_CHECK_MSG(config_.num_lines() % config_.associativity == 0,
+                  "line count must be a multiple of associativity");
+  num_sets_ = config_.num_sets();
+  COLOC_CHECK_MSG(num_sets_ > 0, "cache must have at least one set");
+  ways_.assign(num_sets_ * config_.associativity, Way{});
+}
+
+bool Cache::access(LineAddress line) {
+  ++stats_.accesses;
+  ++clock_;
+  const std::size_t set = set_index(line);
+  Way* base = ways_.data() + set * config_.associativity;
+
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.last_used = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    // Prefer an invalid way; otherwise the least recently used one.
+    if (!way.valid) {
+      if (victim->valid) victim = &way;
+    } else if (victim->valid && way.last_used < victim->last_used) {
+      victim = &way;
+    }
+  }
+  ++stats_.misses;
+  victim->tag = line;
+  victim->valid = true;
+  victim->last_used = clock_;
+  return false;
+}
+
+bool Cache::contains(LineAddress line) const {
+  const std::size_t set = set_index(line);
+  const Way* base = ways_.data() + set * config_.associativity;
+  for (std::size_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == line) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) way = Way{};
+  clock_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  COLOC_CHECK_MSG(!levels.empty(), "hierarchy needs at least one level");
+  levels_.reserve(levels.size());
+  for (auto& cfg : levels) levels_.emplace_back(std::move(cfg));
+}
+
+std::size_t CacheHierarchy::access(LineAddress line) {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(line)) return i;
+  }
+  return levels_.size();
+}
+
+void CacheHierarchy::reset_stats() {
+  for (auto& c : levels_) c.reset_stats();
+}
+
+}  // namespace coloc::sim

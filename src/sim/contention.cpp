@@ -1,0 +1,154 @@
+#include "sim/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+namespace {
+
+/// Fraction of an app's memory references that miss a private cache of
+/// `private_lines` and therefore access the LLC.
+double private_filter_miss_ratio(const MissRatioCurve& mrc,
+                                 double private_lines) {
+  return mrc.miss_ratio(private_lines);
+}
+
+}  // namespace
+
+ContentionSolution solve_contention(const MachineConfig& machine,
+                                    double frequency_ghz,
+                                    const std::vector<ScheduledApp>& apps,
+                                    const ContentionOptions& options) {
+  COLOC_CHECK_MSG(!apps.empty(), "need at least one application");
+  COLOC_CHECK_MSG(apps.size() <= machine.cores,
+                  "more applications than cores");
+  COLOC_CHECK_MSG(frequency_ghz > 0.0, "frequency must be positive");
+  for (const auto& app : apps) {
+    COLOC_CHECK_MSG(app.spec != nullptr && app.mrc != nullptr,
+                    "scheduled app missing spec or MRC");
+  }
+
+  const std::size_t n = apps.size();
+  const double llc_lines = static_cast<double>(machine.llc_lines());
+  const double private_lines = static_cast<double>(machine.private_lines());
+  const double line_bytes = static_cast<double>(machine.line_bytes);
+  const double hz = frequency_ghz * 1e9;
+
+  // Per-app constants. Compulsory misses are LLC accesses too: traffic that
+  // bypasses the reuse model still shows up in the TCA counter.
+  std::vector<double> llc_apis(n);  // LLC accesses per instruction
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = apps[i];
+    llc_apis[i] = a.spec->refs_per_instruction *
+                      private_filter_miss_ratio(*a.mrc, private_lines) +
+                  a.spec->compulsory_misses_per_instruction;
+  }
+
+  // State: occupancy shares, loaded latency, CPIs.
+  std::vector<double> share(n, llc_lines / static_cast<double>(n));
+  std::vector<double> mpi(n, 0.0);  // misses per instruction
+  std::vector<double> cpi(n, 1.0);
+  double latency_ns = machine.memory_latency_ns;
+
+  ContentionSolution solution;
+  bool converged = false;
+  std::size_t iter = 0;
+
+  for (; iter < options.max_iterations; ++iter) {
+    // (2) Miss ratios at current occupancy. An app's LLC misses are the
+    // references whose reuse distance exceeds its share; shares below the
+    // private capacity degenerate to "all LLC accesses miss".
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& a = apps[i];
+      const double eff_share = std::max(share[i], private_lines);
+      const double warm_mpi =
+          a.spec->refs_per_instruction * a.mrc->miss_ratio(eff_share);
+      mpi[i] = std::min(warm_mpi + a.spec->compulsory_misses_per_instruction,
+                        llc_apis[i]);
+    }
+
+    // (3) CPIs and instruction rates at the current loaded latency.
+    double max_rel_change = 0.0;
+    std::vector<double> ips(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& a = apps[i];
+      const double stall_cycles_per_miss =
+          latency_ns * frequency_ghz / a.spec->mlp;
+      const double new_cpi = a.spec->cpi_base + mpi[i] * stall_cycles_per_miss;
+      max_rel_change =
+          std::max(max_rel_change, std::abs(new_cpi - cpi[i]) / new_cpi);
+      cpi[i] = new_cpi;
+      ips[i] = hz / new_cpi;
+    }
+
+    // Total DRAM demand and the loaded latency for the next iteration.
+    double bytes_per_second = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+      bytes_per_second += mpi[i] * ips[i] * line_bytes;
+    const double rho = std::min(
+        bytes_per_second / (machine.memory_bandwidth_gbs * 1e9),
+        options.max_utilization);
+    double target_latency = machine.memory_latency_ns;
+    if (!options.disable_queueing) {
+      target_latency *= 1.0 + machine.memory_queue_sensitivity * rho /
+                                  (1.0 - rho);
+    }
+    latency_ns += options.damping * (target_latency - latency_ns);
+    solution.memory_utilization = rho;
+
+    // (1) Occupancy proportional to insertion (miss) rates.
+    if (!options.static_equal_partition && n > 1) {
+      double total_miss_rate = 0.0;
+      std::vector<double> miss_rate(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        miss_rate[i] = mpi[i] * ips[i];
+        total_miss_rate += miss_rate[i];
+      }
+      if (total_miss_rate > 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          // Floor each share at one way's worth of lines so no app is
+          // starved to zero (hardware never fully evicts a running app).
+          const double target =
+              std::max(llc_lines * miss_rate[i] / total_miss_rate,
+                       llc_lines / static_cast<double>(
+                                       machine.llc_associativity));
+          share[i] += options.damping * (target - share[i]);
+        }
+        // Renormalize so shares sum to the LLC capacity.
+        double sum = 0.0;
+        for (double s : share) sum += s;
+        for (double& s : share) s *= llc_lines / sum;
+      }
+    } else if (n == 1) {
+      share[0] = llc_lines;
+    }
+
+    if (max_rel_change < options.tolerance && iter > 2) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  solution.apps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    AppSolution& out = solution.apps[i];
+    const auto& a = apps[i];
+    out.name = a.spec->name;
+    out.llc_share_lines = share[i];
+    out.misses_per_instruction = mpi[i];
+    out.accesses_per_instruction = llc_apis[i];
+    out.cpi = cpi[i];
+    out.instructions_per_second = hz / cpi[i];
+    out.execution_time_s = a.spec->instructions / out.instructions_per_second;
+  }
+  solution.memory_latency_ns = latency_ns;
+  solution.iterations = iter;
+  solution.converged = converged;
+  return solution;
+}
+
+}  // namespace coloc::sim

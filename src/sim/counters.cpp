@@ -1,0 +1,30 @@
+#include "sim/counters.hpp"
+
+namespace coloc::sim {
+
+std::string to_string(PresetEvent event) {
+  switch (event) {
+    case PresetEvent::kTotalInstructions: return "PAPI_TOT_INS";
+    case PresetEvent::kTotalCycles: return "PAPI_TOT_CYC";
+    case PresetEvent::kLlcMisses: return "PAPI_L3_TCM";
+    case PresetEvent::kLlcAccesses: return "PAPI_L3_TCA";
+  }
+  return "PAPI_UNKNOWN";
+}
+
+double CounterSet::memory_intensity() const {
+  const double ins = get(PresetEvent::kTotalInstructions);
+  return ins > 0.0 ? get(PresetEvent::kLlcMisses) / ins : 0.0;
+}
+
+double CounterSet::cm_per_ca() const {
+  const double tca = get(PresetEvent::kLlcAccesses);
+  return tca > 0.0 ? get(PresetEvent::kLlcMisses) / tca : 0.0;
+}
+
+double CounterSet::ca_per_ins() const {
+  const double ins = get(PresetEvent::kTotalInstructions);
+  return ins > 0.0 ? get(PresetEvent::kLlcAccesses) / ins : 0.0;
+}
+
+}  // namespace coloc::sim

@@ -1,0 +1,50 @@
+// PAPI-style preset performance counters (Section IV-A2/A3).
+//
+// The paper reads three hardware counters through PAPI/HPCToolkit:
+// total instructions (NI), last-level cache misses (LLC), and total
+// last-level cache accesses (TCA). The simulator exposes the same preset
+// interface; the optional real-hardware backend in src/counters maps the
+// presets onto perf_event. As on real hardware, readings are run-aggregate
+// values — all temporal detail is lost (a limitation the paper notes).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace coloc::sim {
+
+enum class PresetEvent : std::size_t {
+  kTotalInstructions = 0,  // PAPI_TOT_INS
+  kTotalCycles = 1,        // PAPI_TOT_CYC
+  kLlcMisses = 2,          // PAPI_L3_TCM (or L2 on two-level parts)
+  kLlcAccesses = 3,        // PAPI_L3_TCA
+};
+
+inline constexpr std::size_t kNumPresetEvents = 4;
+
+std::string to_string(PresetEvent event);
+
+/// A fixed-size bag of counter readings for one measured run.
+class CounterSet {
+ public:
+  double get(PresetEvent event) const {
+    return values_[static_cast<std::size_t>(event)];
+  }
+  void set(PresetEvent event, double value) {
+    values_[static_cast<std::size_t>(event)] = value;
+  }
+
+  // Derived metrics from Section IV-A3.
+  /// Memory intensity: LLC misses / instructions.
+  double memory_intensity() const;
+  /// Cache miss ratio: LLC misses / LLC accesses (CM/CA).
+  double cm_per_ca() const;
+  /// Cache access rate: LLC accesses / instructions (CA/INS).
+  double ca_per_ins() const;
+
+ private:
+  std::array<double, kNumPresetEvents> values_{};
+};
+
+}  // namespace coloc::sim

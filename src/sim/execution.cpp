@@ -1,0 +1,111 @@
+#include "sim/execution.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+namespace {
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;  // FNV-1a step
+  }
+  return h;
+}
+}  // namespace
+
+Simulator::Simulator(MachineConfig machine, AppMrcLibrary* library,
+                     MeasurementOptions options)
+    : machine_(std::move(machine)), library_(library),
+      options_(std::move(options)) {
+  COLOC_CHECK_MSG(library_ != nullptr, "simulator needs an MRC library");
+  validate(machine_);
+}
+
+std::uint64_t Simulator::run_seed(const ApplicationSpec& target,
+                                  const std::vector<ApplicationSpec>& coapps,
+                                  std::size_t pstate_index,
+                                  std::uint64_t repetition) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ options_.seed;
+  h = hash_string(h, machine_.name);
+  h = hash_string(h, target.name);
+  for (const auto& c : coapps) h = hash_string(h, c.name);
+  h ^= pstate_index * 0x9e3779b97f4a7c15ULL;
+  h ^= repetition * 0x2545f4914f6cdd1dULL;
+  return h;
+}
+
+ContentionSolution Simulator::solve(const std::vector<ApplicationSpec>& apps,
+                                    std::size_t pstate_index) const {
+  COLOC_CHECK_MSG(pstate_index < machine_.pstates.size(),
+                  "P-state index out of range");
+  std::vector<ScheduledApp> scheduled;
+  scheduled.reserve(apps.size());
+  for (const auto& app : apps) {
+    scheduled.push_back(
+        ScheduledApp{&app, &library_->curve(app)});
+  }
+  return solve_contention(machine_,
+                          machine_.pstates[pstate_index].frequency_ghz,
+                          scheduled, options_.contention);
+}
+
+RunMeasurement Simulator::measure(const ApplicationSpec& target,
+                                  const std::vector<ApplicationSpec>& coapps,
+                                  std::size_t pstate_index,
+                                  std::uint64_t repetition) {
+  COLOC_CHECK_MSG(coapps.size() + 1 <= machine_.cores,
+                  "co-location exceeds core count");
+
+  std::vector<ApplicationSpec> all;
+  all.reserve(coapps.size() + 1);
+  all.push_back(target);
+  all.insert(all.end(), coapps.begin(), coapps.end());
+  const ContentionSolution solution = solve(all, pstate_index);
+  const AppSolution& t = solution.apps.front();
+
+  RunMeasurement m;
+  m.target = target.name;
+  m.pstate_index = pstate_index;
+  m.frequency_ghz = machine_.pstates[pstate_index].frequency_ghz;
+  m.num_coapps = coapps.size();
+  m.true_execution_time_s = t.execution_time_s;
+
+  Rng rng(run_seed(target, coapps, pstate_index, repetition));
+  const double time_noise =
+      options_.time_noise_sigma > 0.0
+          ? rng.lognormal(0.0, options_.time_noise_sigma)
+          : 1.0;
+  m.execution_time_s = t.execution_time_s * time_noise;
+
+  auto jitter = [&rng, this] {
+    return options_.counter_noise_sigma > 0.0
+               ? rng.lognormal(0.0, options_.counter_noise_sigma)
+               : 1.0;
+  };
+  const double ni = target.instructions;
+  m.counters.set(PresetEvent::kTotalInstructions, ni);  // exact on real HW
+  m.counters.set(PresetEvent::kTotalCycles,
+                 ni * t.cpi * time_noise);  // cycles track wall time
+  m.counters.set(PresetEvent::kLlcMisses,
+                 ni * t.misses_per_instruction * jitter());
+  m.counters.set(PresetEvent::kLlcAccesses,
+                 ni * t.accesses_per_instruction * jitter());
+  return m;
+}
+
+RunMeasurement Simulator::run_alone(const ApplicationSpec& app,
+                                    std::size_t pstate_index,
+                                    std::uint64_t repetition) {
+  return measure(app, {}, pstate_index, repetition);
+}
+
+RunMeasurement Simulator::run_colocated(
+    const ApplicationSpec& target, const std::vector<ApplicationSpec>& coapps,
+    std::size_t pstate_index, std::uint64_t repetition) {
+  return measure(target, coapps, pstate_index, repetition);
+}
+
+}  // namespace coloc::sim

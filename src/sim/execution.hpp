@@ -1,0 +1,88 @@
+// The measurement facade: runs co-location scenarios on a simulated machine
+// and reports what the paper's testbed would report — the target's wall
+// time plus its PAPI counter readings, with realistic run-to-run noise.
+//
+// This is the boundary between the substrate (everything in src/sim) and
+// the paper's methodology (src/core): the methodology only ever sees
+// RunMeasurement values, exactly as the original work only saw testbed
+// measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/app_model.hpp"
+#include "sim/contention.hpp"
+#include "sim/counters.hpp"
+#include "sim/machine.hpp"
+
+namespace coloc::sim {
+
+/// Measurement realism knobs. Multiplicative lognormal noise on times
+/// mirrors the small run-to-run variance of a quiesced Linux testbed
+/// (Section IV-A1); counters jitter less than wall time does.
+struct MeasurementOptions {
+  double time_noise_sigma = 0.01;
+  double counter_noise_sigma = 0.003;
+  std::uint64_t seed = 99;
+  ContentionOptions contention;
+};
+
+/// What one profiled run of a target application yields.
+struct RunMeasurement {
+  std::string target;
+  std::size_t pstate_index = 0;
+  double frequency_ghz = 0.0;
+  std::size_t num_coapps = 0;
+
+  double execution_time_s = 0.0;       // measured (noisy) wall time
+  double true_execution_time_s = 0.0;  // noise-free model output
+  CounterSet counters;                 // noisy NI / cycles / LLC / TCA
+
+  double memory_intensity() const { return counters.memory_intensity(); }
+};
+
+/// Simulated testbed for one machine. Holds the machine config, the MRC
+/// library, and a deterministic noise stream: identical (target, co-apps,
+/// P-state, repetition) tuples always produce identical measurements.
+class Simulator {
+ public:
+  Simulator(MachineConfig machine, AppMrcLibrary* library,
+            MeasurementOptions options = {});
+
+  const MachineConfig& machine() const { return machine_; }
+
+  /// Baseline run: the application alone on the machine (Section IV-B3's
+  /// "initial baseline tests"). `repetition` varies the noise draw.
+  RunMeasurement run_alone(const ApplicationSpec& app,
+                           std::size_t pstate_index,
+                           std::uint64_t repetition = 0);
+
+  /// Co-located run: measures `target` while `coapps` run on other cores.
+  RunMeasurement run_colocated(const ApplicationSpec& target,
+                               const std::vector<ApplicationSpec>& coapps,
+                               std::size_t pstate_index,
+                               std::uint64_t repetition = 0);
+
+  /// Direct access to the noise-free solver (diagnostics, ablations).
+  ContentionSolution solve(const std::vector<ApplicationSpec>& apps,
+                           std::size_t pstate_index) const;
+
+ private:
+  RunMeasurement measure(const ApplicationSpec& target,
+                         const std::vector<ApplicationSpec>& coapps,
+                         std::size_t pstate_index, std::uint64_t repetition);
+
+  std::uint64_t run_seed(const ApplicationSpec& target,
+                         const std::vector<ApplicationSpec>& coapps,
+                         std::size_t pstate_index,
+                         std::uint64_t repetition) const;
+
+  MachineConfig machine_;
+  AppMrcLibrary* library_;  // not owned
+  MeasurementOptions options_;
+};
+
+}  // namespace coloc::sim

@@ -1,0 +1,82 @@
+#include "sim/machine.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+MachineConfig xeon_e5649() {
+  MachineConfig m;
+  m.name = "Xeon E5649";
+  m.cores = 6;
+  m.llc_bytes = 12ULL << 20;
+  m.line_bytes = 64;
+  m.llc_associativity = 16;
+  m.private_bytes = 256ULL << 10;
+  // Westmere-EP: 3x DDR3-1333 channels ~= 32 GB/s peak; ~24 sustainable.
+  m.memory_bandwidth_gbs = 24.0;
+  m.memory_queue_sensitivity = 0.5;
+  m.memory_latency_ns = 65.0;
+  m.pstates = PStateTable::evenly_spaced(1.60, 2.53, 6);
+  m.static_power_w = 25.0;
+  m.core_dynamic_power_w = 13.0;
+  validate(m);
+  return m;
+}
+
+MachineConfig xeon_e5_2697v2() {
+  MachineConfig m;
+  m.name = "Xeon E5-2697 v2";
+  m.cores = 12;
+  m.llc_bytes = 30ULL << 20;
+  m.line_bytes = 64;
+  m.llc_associativity = 20;
+  m.private_bytes = 256ULL << 10;
+  // Ivy Bridge-EP: 4x DDR3-1866 channels ~= 60 GB/s peak; ~45 sustainable.
+  m.memory_bandwidth_gbs = 45.0;
+  m.memory_queue_sensitivity = 0.5;
+  m.memory_latency_ns = 70.0;
+  m.pstates = PStateTable::evenly_spaced(1.20, 2.70, 6);
+  m.static_power_w = 35.0;
+  m.core_dynamic_power_w = 11.0;
+  validate(m);
+  return m;
+}
+
+MachineConfig generic_8core() {
+  MachineConfig m;
+  m.name = "Generic 8-core";
+  m.cores = 8;
+  m.llc_bytes = 16ULL << 20;
+  m.line_bytes = 64;
+  m.llc_associativity = 16;
+  m.private_bytes = 512ULL << 10;
+  m.memory_bandwidth_gbs = 34.0;
+  m.memory_queue_sensitivity = 0.5;
+  m.memory_latency_ns = 68.0;
+  m.pstates = PStateTable::evenly_spaced(1.40, 2.60, 6);
+  validate(m);
+  return m;
+}
+
+void validate(const MachineConfig& config) {
+  auto require = [](bool ok, const char* msg) {
+    if (!ok) throw coloc::invalid_argument_error(msg);
+  };
+  require(config.cores >= 1, "machine needs at least one core");
+  require(config.line_bytes > 0 && config.llc_bytes % config.line_bytes == 0,
+          "LLC size must be a line-size multiple");
+  require(config.llc_associativity > 0 &&
+              config.llc_lines() % config.llc_associativity == 0,
+          "LLC lines must divide evenly into ways");
+  require(config.private_bytes % config.line_bytes == 0,
+          "private cache must be a line-size multiple");
+  require(config.private_bytes < config.llc_bytes,
+          "private cache should be smaller than the LLC");
+  require(config.memory_bandwidth_gbs > 0.0, "bandwidth must be positive");
+  require(config.memory_latency_ns > 0.0, "latency must be positive");
+  require(config.pstates.size() >= 1, "machine needs a P-state ladder");
+}
+
+}  // namespace coloc::sim

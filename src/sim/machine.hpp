@@ -1,0 +1,59 @@
+// Multicore machine descriptions (Table IV) and presets for the two Xeons
+// the paper validates on. The simulator is parameterized entirely by this
+// struct, so porting the methodology to a new processor — one of the
+// paper's stated design goals — amounts to instantiating a new config.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/pstate.hpp"
+
+namespace coloc::sim {
+
+struct MachineConfig {
+  std::string name;
+  std::size_t cores = 4;
+
+  // Shared last-level cache geometry.
+  std::size_t llc_bytes = 8ULL << 20;
+  std::size_t line_bytes = 64;
+  std::size_t llc_associativity = 16;
+
+  // Private per-core cache capacity that filters LLC accesses. We fold
+  // L1+L2 into one filter level; the paper's counters only distinguish
+  // "last-level" from the rest.
+  std::size_t private_bytes = 256ULL << 10;
+
+  // Memory subsystem.
+  double memory_bandwidth_gbs = 25.0;   // sustainable GB/s across channels
+  double memory_latency_ns = 70.0;      // unloaded DRAM access latency
+  double memory_queue_sensitivity = 1.0;  // scales the queueing term
+
+  // DVFS ladder (six P-states in the paper's experiments).
+  PStateTable pstates;
+
+  // Power model parameters for the energy extension (Section VI): package
+  // static power plus per-core dynamic power at the P0 state.
+  double static_power_w = 30.0;
+  double core_dynamic_power_w = 12.0;
+
+  std::size_t llc_lines() const { return llc_bytes / line_bytes; }
+  std::size_t private_lines() const { return private_bytes / line_bytes; }
+};
+
+/// Intel Xeon E5649: 6 cores, 12 MB L3, 1.60-2.53 GHz (Table IV).
+MachineConfig xeon_e5649();
+
+/// Intel Xeon E5-2697 v2: 12 cores, 30 MB L3, 1.20-2.70 GHz (Table IV).
+MachineConfig xeon_e5_2697v2();
+
+/// A hypothetical 8-core machine used by the portability example — shows
+/// the methodology is not tied to the two validation processors.
+MachineConfig generic_8core();
+
+/// Validates invariants (nonzero sizes, power-of-two set count, etc.).
+/// Throws coloc::invalid_argument_error on violation.
+void validate(const MachineConfig& config);
+
+}  // namespace coloc::sim

@@ -1,0 +1,81 @@
+// Time-windowed (phase-level) profiling of an application's memory
+// behaviour.
+//
+// [SaS13] showed that applications move through phases of differing memory
+// intensity; the paper's counters deliberately lose that temporal detail
+// (Section IV-A3) and the paper's claim (c) is that phase-level detail is
+// NOT needed for accurate co-location prediction. This module makes the
+// phase structure observable so that claim can be tested: it drives a
+// trace through a cache hierarchy in fixed-size windows and records the
+// per-window LLC traffic, from which phase variability statistics follow.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/trace.hpp"
+
+namespace coloc::sim {
+
+/// Counter deltas for one profiling window.
+struct PhaseSample {
+  std::uint64_t window_index = 0;
+  std::uint64_t references = 0;     // memory references issued
+  std::uint64_t llc_accesses = 0;   // reached the last level
+  std::uint64_t llc_misses = 0;     // went to DRAM
+
+  double llc_access_ratio() const {
+    return references
+               ? static_cast<double>(llc_accesses) /
+                     static_cast<double>(references)
+               : 0.0;
+  }
+  double llc_miss_ratio() const {
+    return llc_accesses ? static_cast<double>(llc_misses) /
+                              static_cast<double>(llc_accesses)
+                        : 0.0;
+  }
+  /// Misses per reference — the windowed analogue of memory intensity.
+  double miss_intensity() const {
+    return references ? static_cast<double>(llc_misses) /
+                            static_cast<double>(references)
+                      : 0.0;
+  }
+};
+
+/// Aggregate view of a phase profile.
+struct PhaseSummary {
+  std::size_t windows = 0;
+  double mean_miss_intensity = 0.0;
+  double stddev_miss_intensity = 0.0;
+  double min_miss_intensity = 0.0;
+  double max_miss_intensity = 0.0;
+
+  /// Coefficient of variation of windowed intensity — how "phased" the
+  /// application is (0 = perfectly flat behaviour).
+  double variability() const {
+    return mean_miss_intensity > 0.0
+               ? stddev_miss_intensity / mean_miss_intensity
+               : 0.0;
+  }
+};
+
+/// Runs `total_references` of the generator through the hierarchy in
+/// windows of `window_references`, returning one sample per window.
+/// The hierarchy's final level plays the LLC role.
+std::vector<PhaseSample> profile_phases(TraceGenerator& generator,
+                                        CacheHierarchy& hierarchy,
+                                        std::size_t total_references,
+                                        std::size_t window_references);
+
+PhaseSummary summarize_phases(const std::vector<PhaseSample>& samples);
+
+/// Renders a compact ASCII strip chart of windowed miss intensity (one
+/// character per window), e.g. "▁▂▇▇▂▁..." as '.',':','#' tiers — useful
+/// in example output without plotting dependencies.
+std::string render_phase_strip(const std::vector<PhaseSample>& samples,
+                               std::size_t max_width = 80);
+
+}  // namespace coloc::sim

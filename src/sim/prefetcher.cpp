@@ -1,0 +1,109 @@
+#include "sim/prefetcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+StreamPrefetcher::StreamPrefetcher(PrefetcherConfig config)
+    : config_(config) {
+  COLOC_CHECK_MSG(config_.streams > 0, "need at least one stream entry");
+  COLOC_CHECK_MSG(config_.max_stride > 0, "max stride must be positive");
+  table_.resize(config_.streams);
+  outstanding_.reserve(config_.streams * config_.degree);
+}
+
+void StreamPrefetcher::reset() {
+  for (auto& entry : table_) entry = StreamEntry{};
+  outstanding_.clear();
+  stats_ = {};
+  clock_ = 0;
+}
+
+void StreamPrefetcher::observe(LineAddress line, Cache& target) {
+  ++clock_;
+
+  // Usefulness accounting: a demand access to a line we prefetched counts
+  // as a useful prefetch (one credit per line).
+  const auto hit_it =
+      std::find(outstanding_.begin(), outstanding_.end(), line);
+  if (hit_it != outstanding_.end()) {
+    ++stats_.useful;
+    outstanding_.erase(hit_it);
+  }
+
+  // Find a stream whose extrapolation matches this access: the entry whose
+  // last+stride equals the line, or one within max_stride of it.
+  StreamEntry* match = nullptr;
+  StreamEntry* victim = &table_[0];
+  for (auto& entry : table_) {
+    if (!entry.valid) {
+      victim = &entry;
+      continue;
+    }
+    const std::int64_t delta = static_cast<std::int64_t>(line) -
+                               static_cast<std::int64_t>(entry.last);
+    if (delta != 0 && std::abs(delta) <= config_.max_stride) {
+      match = &entry;
+      break;
+    }
+    if (entry.last_used < victim->last_used || !victim->valid) {
+      if (victim->valid) victim = &entry;
+    }
+  }
+
+  if (match == nullptr) {
+    // Allocate a fresh (or LRU) entry for a potential new stream.
+    victim->last = line;
+    victim->stride = 0;
+    victim->confirmed = false;
+    victim->valid = true;
+    victim->last_used = clock_;
+    return;
+  }
+
+  const std::int64_t delta = static_cast<std::int64_t>(line) -
+                             static_cast<std::int64_t>(match->last);
+  if (match->stride == delta) {
+    match->confirmed = true;
+  } else {
+    match->stride = delta;
+    match->confirmed = false;
+  }
+  match->last = line;
+  match->last_used = clock_;
+
+  if (!match->confirmed) return;
+
+  // Confirmed stream: fill `degree` lines ahead into the target cache.
+  for (std::size_t d = 1; d <= config_.degree; ++d) {
+    const std::int64_t ahead =
+        static_cast<std::int64_t>(line) +
+        match->stride * static_cast<std::int64_t>(d);
+    if (ahead < 0) break;
+    const LineAddress pf = static_cast<LineAddress>(ahead);
+    if (target.contains(pf)) continue;  // already resident
+    target.access(pf);                  // fill (counted in cache stats)
+    ++stats_.issued;
+    if (outstanding_.size() >= config_.streams * config_.degree) {
+      outstanding_.erase(outstanding_.begin());
+    }
+    outstanding_.push_back(pf);
+  }
+}
+
+PrefetchingHierarchy::PrefetchingHierarchy(std::vector<CacheConfig> levels,
+                                           PrefetcherConfig prefetcher)
+    : hierarchy_(std::move(levels)), prefetcher_(prefetcher) {}
+
+std::size_t PrefetchingHierarchy::access(LineAddress line) {
+  const std::size_t hit_level = hierarchy_.access(line);
+  // The prefetcher observes the demand stream below the first level (it
+  // sits alongside the LLC), and fills the last level.
+  prefetcher_.observe(line,
+                      hierarchy_.level(hierarchy_.num_levels() - 1));
+  return hit_level;
+}
+
+}  // namespace coloc::sim

@@ -1,0 +1,66 @@
+#include "sim/pstate.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+PStateTable::PStateTable(std::vector<PState> states)
+    : states_(std::move(states)) {
+  COLOC_CHECK_MSG(!states_.empty(), "P-state table cannot be empty");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    COLOC_CHECK_MSG(states_[i].frequency_ghz > 0.0,
+                    "P-state frequency must be positive");
+    if (i > 0) {
+      COLOC_CHECK_MSG(
+          states_[i].frequency_ghz < states_[i - 1].frequency_ghz,
+          "P-states must be ordered by descending frequency");
+    }
+  }
+}
+
+PStateTable PStateTable::evenly_spaced(double min_ghz, double max_ghz,
+                                       std::size_t count, double vmin,
+                                       double vmax) {
+  COLOC_CHECK_MSG(count >= 1, "need at least one P-state");
+  COLOC_CHECK_MSG(max_ghz > min_ghz && min_ghz > 0.0,
+                  "invalid frequency range");
+  std::vector<PState> states;
+  states.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t =
+        count == 1 ? 1.0
+                   : 1.0 - static_cast<double>(i) /
+                               static_cast<double>(count - 1);
+    PState s;
+    s.frequency_ghz = min_ghz + t * (max_ghz - min_ghz);
+    s.voltage = vmin + t * (vmax - vmin);
+    states.push_back(s);
+  }
+  return PStateTable(std::move(states));
+}
+
+const PState& PStateTable::operator[](std::size_t i) const {
+  COLOC_CHECK_MSG(i < states_.size(), "P-state index out of range");
+  return states_[i];
+}
+
+double PStateTable::max_frequency() const {
+  COLOC_CHECK(!states_.empty());
+  return states_.front().frequency_ghz;
+}
+
+double PStateTable::min_frequency() const {
+  COLOC_CHECK(!states_.empty());
+  return states_.back().frequency_ghz;
+}
+
+double PStateTable::relative_dynamic_power(std::size_t i) const {
+  const PState& s = (*this)[i];
+  const PState& p0 = states_.front();
+  const double v_ratio = s.voltage / p0.voltage;
+  return v_ratio * v_ratio * (s.frequency_ghz / p0.frequency_ghz);
+}
+
+}  // namespace coloc::sim

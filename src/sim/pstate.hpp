@@ -1,0 +1,46 @@
+// Processor performance states (P-states) — Section IV-A4.
+//
+// A P-state is a (frequency, voltage) operating point reachable through
+// DVFS. The paper collects data at six P-state frequencies per machine and
+// feeds the per-P-state baseline execution time into the models. Voltage is
+// carried for the energy-estimation extension discussed in Section VI.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace coloc::sim {
+
+struct PState {
+  double frequency_ghz = 0.0;
+  double voltage = 1.0;
+};
+
+/// A machine's DVFS ladder; index 0 is the fastest state (P0).
+class PStateTable {
+ public:
+  PStateTable() = default;
+  explicit PStateTable(std::vector<PState> states);
+
+  /// Builds `count` states evenly spaced in [min_ghz, max_ghz] (descending),
+  /// with voltage scaling linearly from vmin at fmin to vmax at fmax — the
+  /// standard first-order DVFS approximation.
+  static PStateTable evenly_spaced(double min_ghz, double max_ghz,
+                                   std::size_t count, double vmin = 0.85,
+                                   double vmax = 1.10);
+
+  std::size_t size() const { return states_.size(); }
+  const PState& operator[](std::size_t i) const;
+  const std::vector<PState>& states() const { return states_; }
+
+  double max_frequency() const;
+  double min_frequency() const;
+
+  /// Dynamic-power scale factor C*V^2*f relative to the P0 state.
+  double relative_dynamic_power(std::size_t i) const;
+
+ private:
+  std::vector<PState> states_;
+};
+
+}  // namespace coloc::sim

@@ -1,0 +1,107 @@
+#include "sim/stack_distance.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+void FenwickTree::add(std::size_t index, std::int64_t delta) {
+  COLOC_CHECK_MSG(index < tree_.size() - 1, "Fenwick index out of range");
+  for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1))
+    tree_[i] += delta;
+}
+
+std::int64_t FenwickTree::prefix_sum(std::size_t index) const {
+  if (tree_.size() <= 1) return 0;
+  index = std::min(index, tree_.size() - 2);
+  std::int64_t s = 0;
+  for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) s += tree_[i];
+  return s;
+}
+
+std::int64_t FenwickTree::range_sum(std::size_t lo, std::size_t hi) const {
+  COLOC_CHECK_MSG(lo <= hi, "invalid Fenwick range");
+  const std::int64_t upper = prefix_sum(hi);
+  return lo == 0 ? upper : upper - prefix_sum(lo - 1);
+}
+
+StackDistanceProfiler::StackDistanceProfiler(std::size_t max_references)
+    : tree_(max_references) {
+  COLOC_CHECK_MSG(max_references > 0, "profiler needs capacity");
+  last_access_.reserve(1 << 16);
+}
+
+void StackDistanceProfiler::set_max_tracked_distance(std::size_t d) {
+  COLOC_CHECK_MSG(histogram_.empty() || d >= histogram_.size(),
+                  "cannot shrink histogram after recording");
+  max_tracked_ = d;
+}
+
+std::uint64_t StackDistanceProfiler::record(LineAddress line) {
+  COLOC_CHECK_MSG(time_ < tree_.size(), "profiler capacity exceeded");
+  const std::size_t now = static_cast<std::size_t>(time_);
+
+  std::uint64_t distance = kColdMiss;
+  auto it = last_access_.find(line);
+  if (it != last_access_.end()) {
+    const std::size_t prev = it->second;
+    // Distinct lines touched strictly between prev and now: each line's
+    // latest access in that window contributes one Fenwick marker.
+    distance = static_cast<std::uint64_t>(
+        now > prev + 1 ? tree_.range_sum(prev + 1, now - 1) : 0);
+    tree_.add(prev, -1);  // the line's marker moves to `now`
+    it->second = now;
+  } else {
+    ++cold_;
+    last_access_.emplace(line, now);
+  }
+  tree_.add(now, +1);
+  ++time_;
+
+  if (distance != kColdMiss) {
+    if (distance < max_tracked_) {
+      if (distance >= histogram_.size()) histogram_.resize(distance + 1, 0);
+      ++histogram_[distance];
+    } else {
+      ++beyond_;
+    }
+  }
+  return distance;
+}
+
+StackDistanceProfiler profile_trace(std::span<const LineAddress> trace) {
+  StackDistanceProfiler profiler(trace.size());
+  for (LineAddress a : trace) profiler.record(a);
+  return profiler;
+}
+
+std::vector<std::uint64_t> brute_force_stack_distances(
+    std::span<const LineAddress> trace) {
+  std::vector<std::uint64_t> out;
+  out.reserve(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    // Find the previous access to the same line, then count distinct lines
+    // in between.
+    std::size_t prev = trace.size();
+    for (std::size_t j = i; j-- > 0;) {
+      if (trace[j] == trace[i]) {
+        prev = j;
+        break;
+      }
+    }
+    if (prev == trace.size()) {
+      out.push_back(kColdMiss);
+      continue;
+    }
+    std::vector<LineAddress> seen;
+    for (std::size_t j = prev + 1; j < i; ++j) {
+      if (std::find(seen.begin(), seen.end(), trace[j]) == seen.end())
+        seen.push_back(trace[j]);
+    }
+    out.push_back(seen.size());
+  }
+  return out;
+}
+
+}  // namespace coloc::sim

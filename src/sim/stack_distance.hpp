@@ -1,0 +1,84 @@
+// Mattson stack-distance (reuse-distance) profiling for LRU caches.
+//
+// For a fully-associative LRU cache of capacity C lines, a reference hits
+// iff its stack distance (number of distinct lines touched since the last
+// reference to the same line) is < C. One pass over a trace therefore
+// yields the complete miss-ratio curve for *all* capacities at once —
+// this is what lets the contention model evaluate thousands of co-location
+// scenarios without re-simulating traces (DESIGN.md §5.1).
+//
+// Implementation: classic timestamp + Fenwick tree formulation, O(log n)
+// per reference.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace coloc::sim {
+
+/// Binary indexed tree over reference timestamps; supports point update and
+/// prefix sum in O(log n).
+class FenwickTree {
+ public:
+  explicit FenwickTree(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t index, std::int64_t delta);
+  /// Sum of entries [0, index].
+  std::int64_t prefix_sum(std::size_t index) const;
+  /// Sum of entries [lo, hi].
+  std::int64_t range_sum(std::size_t lo, std::size_t hi) const;
+  std::size_t size() const { return tree_.size() - 1; }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+/// Marker for a cold (first-touch) reference.
+inline constexpr std::uint64_t kColdMiss =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Streaming reuse-distance profiler.
+class StackDistanceProfiler {
+ public:
+  /// `max_references` bounds the number of record() calls (Fenwick size).
+  explicit StackDistanceProfiler(std::size_t max_references);
+
+  /// Records one reference; returns its stack distance in distinct lines,
+  /// or kColdMiss for a first touch.
+  std::uint64_t record(LineAddress line);
+
+  std::uint64_t references() const { return time_; }
+  std::uint64_t cold_misses() const { return cold_; }
+
+  /// Histogram of observed stack distances: bucket d counts references with
+  /// distance exactly d, truncated at max_tracked_distance (the tail plus
+  /// cold misses is available separately).
+  const std::vector<std::uint64_t>& histogram() const { return histogram_; }
+  std::uint64_t beyond_tracked() const { return beyond_; }
+
+  /// Caps histogram resolution (distances above the cap are pooled).
+  void set_max_tracked_distance(std::size_t d);
+
+ private:
+  FenwickTree tree_;
+  std::unordered_map<LineAddress, std::size_t> last_access_;
+  std::vector<std::uint64_t> histogram_;
+  std::size_t max_tracked_ = 1 << 22;
+  std::uint64_t time_ = 0;
+  std::uint64_t cold_ = 0;
+  std::uint64_t beyond_ = 0;
+};
+
+/// One-shot helper: profiles a whole trace.
+StackDistanceProfiler profile_trace(std::span<const LineAddress> trace);
+
+/// Brute-force stack distance for verification in tests: O(n^2).
+std::vector<std::uint64_t> brute_force_stack_distances(
+    std::span<const LineAddress> trace);
+
+}  // namespace coloc::sim

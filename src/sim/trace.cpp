@@ -1,0 +1,76 @@
+#include "sim/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+TraceGenerator::TraceGenerator(TraceSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  COLOC_CHECK_MSG(!spec_.phases.empty(), "trace spec needs at least one phase");
+  stream_cursor_.assign(spec_.phases.size(), 0);
+  stride_cursor_.assign(spec_.phases.size(), 0);
+  cumulative_weight_.reserve(spec_.phases.size());
+  for (const Phase& p : spec_.phases) {
+    COLOC_CHECK_MSG(p.weight > 0.0, "phase weight must be positive");
+    COLOC_CHECK_MSG(p.working_set_lines > 0, "phase working set must be > 0");
+    const double mix_total =
+        p.mix.streaming + p.mix.strided + p.mix.hot_cold + p.mix.pointer;
+    COLOC_CHECK_MSG(mix_total > 0.0, "phase access mix is all zero");
+    total_weight_ += p.weight;
+    cumulative_weight_.push_back(total_weight_);
+  }
+}
+
+void TraceGenerator::set_horizon(std::size_t references) {
+  COLOC_CHECK_MSG(references > 0, "horizon must be positive");
+  horizon_ = references;
+}
+
+LineAddress TraceGenerator::next() {
+  // Pick the phase owning the current position in the horizon.
+  const double pos = static_cast<double>(emitted_ % horizon_) /
+                     static_cast<double>(horizon_) * total_weight_;
+  std::size_t phase = 0;
+  while (phase + 1 < spec_.phases.size() && pos >= cumulative_weight_[phase])
+    ++phase;
+  ++emitted_;
+  return sample_from_phase(phase);
+}
+
+LineAddress TraceGenerator::sample_from_phase(std::size_t phase_index) {
+  const Phase& p = spec_.phases[phase_index];
+  const LineAddress base =
+      static_cast<LineAddress>(phase_index) * spec_.region_stride_lines;
+  const double mix_total =
+      p.mix.streaming + p.mix.strided + p.mix.hot_cold + p.mix.pointer;
+  double pick = rng_.uniform() * mix_total;
+
+  if ((pick -= p.mix.streaming) < 0.0) {
+    // Sequential sweep through the working set; wraps, so reuse distance is
+    // exactly the working-set size (classic streaming signature).
+    const LineAddress a = base + (stream_cursor_[phase_index] %
+                                  p.working_set_lines);
+    ++stream_cursor_[phase_index];
+    return a;
+  }
+  if ((pick -= p.mix.strided) < 0.0) {
+    const std::size_t stride = p.stride == 0 ? 1 : p.stride;
+    const LineAddress a =
+        base + ((stride_cursor_[phase_index] * stride) % p.working_set_lines);
+    ++stride_cursor_[phase_index];
+    return a;
+  }
+  if ((pick -= p.mix.hot_cold) < 0.0) {
+    return base + rng_.zipf(p.working_set_lines, p.zipf_exponent);
+  }
+  return base + rng_.uniform_index(p.working_set_lines);
+}
+
+std::vector<LineAddress> TraceGenerator::generate(std::size_t n) {
+  std::vector<LineAddress> trace;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) trace.push_back(next());
+  return trace;
+}
+
+}  // namespace coloc::sim

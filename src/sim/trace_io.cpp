@@ -1,0 +1,124 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+
+namespace {
+constexpr char kMagic[4] = {'C', 'L', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 4);
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  unsigned char buf[4];
+  is.read(reinterpret_cast<char*>(buf), 4);
+  COLOC_CHECK_MSG(is.good(), "trace stream truncated");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  os.write(buf, 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  COLOC_CHECK_MSG(is.good(), "trace stream truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+void write_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t read_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = is.get();
+    COLOC_CHECK_MSG(c != EOF, "trace stream truncated inside varint");
+    v |= static_cast<std::uint64_t>(c & 0x7F) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    COLOC_CHECK_MSG(shift < 64, "varint too long");
+  }
+  return v;
+}
+}  // namespace
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+void write_trace(std::ostream& os, const std::vector<LineAddress>& trace) {
+  os.write(kMagic, 4);
+  write_u32(os, kVersion);
+  write_u64(os, trace.size());
+  LineAddress prev = 0;
+  for (LineAddress a : trace) {
+    const std::int64_t delta = static_cast<std::int64_t>(a) -
+                               static_cast<std::int64_t>(prev);
+    write_varint(os, zigzag_encode(delta));
+    prev = a;
+  }
+  COLOC_CHECK_MSG(os.good(), "failed writing trace stream");
+}
+
+std::vector<LineAddress> read_trace(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  COLOC_CHECK_MSG(is.good() && std::equal(magic, magic + 4, kMagic),
+                  "not a coloc trace stream (bad magic)");
+  const std::uint32_t version = read_u32(is);
+  COLOC_CHECK_MSG(version == kVersion, "unsupported trace version");
+  const std::uint64_t count = read_u64(is);
+  std::vector<LineAddress> trace;
+  trace.reserve(count);
+  LineAddress prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::int64_t delta = zigzag_decode(read_varint(is));
+    prev = static_cast<LineAddress>(static_cast<std::int64_t>(prev) + delta);
+    trace.push_back(prev);
+  }
+  return trace;
+}
+
+void save_trace(const std::string& path,
+                const std::vector<LineAddress>& trace) {
+  std::ofstream f(path, std::ios::binary);
+  COLOC_CHECK_MSG(f.good(), "cannot open trace file for writing: " + path);
+  write_trace(f, trace);
+}
+
+std::vector<LineAddress> load_trace(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  COLOC_CHECK_MSG(f.good(), "cannot open trace file for reading: " + path);
+  return read_trace(f);
+}
+
+}  // namespace coloc::sim

@@ -1,0 +1,35 @@
+// Compact binary serialization for address traces.
+//
+// Lets users capture a synthetic (or externally collected) line-address
+// trace once and replay it across cache/MRC experiments. Format:
+//   magic "CLTR" | u32 version | u64 count | varint-encoded deltas
+// Deltas between consecutive line addresses are zig-zag + LEB128 encoded,
+// which compresses streaming/strided traces by ~8x vs raw u64.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace coloc::sim {
+
+/// Writes a trace to a stream; throws coloc::runtime_error on I/O failure.
+void write_trace(std::ostream& os, const std::vector<LineAddress>& trace);
+
+/// Reads a trace written by write_trace; validates magic and version.
+std::vector<LineAddress> read_trace(std::istream& is);
+
+/// File-path conveniences.
+void save_trace(const std::string& path,
+                const std::vector<LineAddress>& trace);
+std::vector<LineAddress> load_trace(const std::string& path);
+
+// Exposed for tests: zig-zag mapping between signed deltas and unsigned
+// varint payloads.
+std::uint64_t zigzag_encode(std::int64_t value);
+std::int64_t zigzag_decode(std::uint64_t value);
+
+}  // namespace coloc::sim

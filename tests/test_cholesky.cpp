@@ -1,0 +1,91 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/qr.hpp"
+
+namespace coloc::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, coloc::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  Matrix spd = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  coloc::Rng rng(1);
+  const Matrix a = random_spd(5, rng);
+  const Cholesky chol(a);
+  const Matrix& l = chol.l_factor();
+  const Matrix llt = matmul(l, l.transposed());
+  EXPECT_NEAR(frobenius_distance(llt, a), 0.0, 1e-9);
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular) {
+  coloc::Rng rng(2);
+  const Cholesky chol(random_spd(4, rng));
+  const Matrix& l = chol.l_factor();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = i + 1; j < 4; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+}
+
+TEST(CholeskyTest, SolvesSystem) {
+  coloc::Rng rng(3);
+  const Matrix a = random_spd(6, rng);
+  std::vector<double> b(6);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = Cholesky(a).solve(b);
+  const Vector ax = matvec(a, x);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3 and -1
+  EXPECT_THROW(Cholesky{a}, coloc::runtime_error);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_THROW(Cholesky{a}, coloc::runtime_error);
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnown) {
+  // diag(2, 3): det = 6.
+  Matrix a{{2, 0}, {0, 3}};
+  EXPECT_NEAR(Cholesky(a).log_determinant(), std::log(6.0), 1e-12);
+}
+
+TEST(NormalEquations, MatchesQrOnWellConditioned) {
+  coloc::Rng rng(4);
+  Matrix a(30, 4);
+  for (std::size_t r = 0; r < 30; ++r)
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.normal();
+  std::vector<double> b(30);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_qr = least_squares(a, b);
+  const Vector x_ne = normal_equations_solve(a, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x_qr[i], x_ne[i], 1e-8);
+}
+
+TEST(NormalEquations, RidgeRegularizes) {
+  // Perfectly collinear columns: plain normal equations are singular, but
+  // a ridge term makes the system solvable.
+  Matrix a(5, 2);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);
+  }
+  const std::vector<double> b = {0, 1, 2, 3, 4};
+  EXPECT_THROW(normal_equations_solve(a, b, 0.0), coloc::runtime_error);
+  EXPECT_NO_THROW(normal_equations_solve(a, b, 1e-6));
+}
+
+}  // namespace
+}  // namespace coloc::linalg

@@ -1,0 +1,194 @@
+#include "sched/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::sched {
+namespace {
+
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = new sim::AppMrcLibrary();
+    simulator_ = new sim::Simulator(tiny_machine(), library_);
+    core::CampaignConfig config;
+    config.targets = tiny_suite();
+    config.coapps = {config.targets[0], config.targets[3]};
+    campaign_ =
+        new core::CampaignResult(core::run_campaign(*simulator_, config));
+    core::ModelZooOptions zoo;
+    zoo.mlp.max_iterations = 300;
+    predictor_ = new core::ColocationPredictor(
+        core::ColocationPredictor::train(
+            campaign_->dataset,
+            {core::ModelTechnique::kNeuralNetwork, core::FeatureSet::kF},
+            zoo));
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete campaign_;
+    delete simulator_;
+    delete library_;
+  }
+
+  static ClusterConfig cluster_config(std::size_t nodes) {
+    ClusterConfig config;
+    config.node = tiny_machine();
+    config.nodes = nodes;
+    config.pstate_index = 0;
+    return config;
+  }
+
+  static sim::AppMrcLibrary* library_;
+  static sim::Simulator* simulator_;
+  static core::CampaignResult* campaign_;
+  static core::ColocationPredictor* predictor_;
+};
+
+sim::AppMrcLibrary* ClusterTest::library_ = nullptr;
+sim::Simulator* ClusterTest::simulator_ = nullptr;
+core::CampaignResult* ClusterTest::campaign_ = nullptr;
+core::ColocationPredictor* ClusterTest::predictor_ = nullptr;
+
+TEST_F(ClusterTest, PolicyNames) {
+  EXPECT_EQ(to_string(PlacementPolicy::kFirstFit), "first-fit");
+  EXPECT_EQ(to_string(PlacementPolicy::kLeastLoaded), "least-loaded");
+  EXPECT_EQ(to_string(PlacementPolicy::kInterferenceAware),
+            "interference-aware");
+}
+
+TEST_F(ClusterTest, SingleJobRunsAtBaselineSpeed) {
+  ClusterSimulator cluster(cluster_config(2), library_);
+  const std::vector<ClusterJob> jobs = {{tiny_suite()[3], 0.0}};
+  const ClusterOutcome outcome = cluster.run(jobs, PlacementPolicy::kFirstFit);
+  ASSERT_EQ(outcome.jobs.size(), 1u);
+  EXPECT_NEAR(outcome.jobs[0].slowdown, 1.0, 1e-6);
+  EXPECT_NEAR(outcome.makespan_s, outcome.jobs[0].finish_s, 1e-9);
+  EXPECT_DOUBLE_EQ(outcome.mean_wait_s, 0.0);
+}
+
+TEST_F(ClusterTest, AllJobsComplete) {
+  ClusterSimulator cluster(cluster_config(2), library_);
+  const auto jobs = make_job_stream(tiny_suite(), 12, 10.0, 1);
+  const ClusterOutcome outcome =
+      cluster.run(jobs, PlacementPolicy::kLeastLoaded);
+  EXPECT_EQ(outcome.jobs.size(), 12u);
+  for (const auto& record : outcome.jobs) {
+    EXPECT_GE(record.start_s, record.arrival_s - 1e-9);
+    EXPECT_GT(record.finish_s, record.start_s);
+    EXPECT_GE(record.slowdown, 0.999);
+    EXPECT_LT(record.node, 2u);
+  }
+  EXPECT_GT(outcome.total_energy_j, 0.0);
+}
+
+TEST_F(ClusterTest, CoLocatedJobsSlowDown) {
+  // Four hungry jobs arriving together on a single node must interfere.
+  ClusterSimulator cluster(cluster_config(1), library_);
+  std::vector<ClusterJob> jobs(4, ClusterJob{tiny_suite()[0], 0.0});
+  const ClusterOutcome outcome = cluster.run(jobs, PlacementPolicy::kFirstFit);
+  EXPECT_GT(outcome.mean_slowdown, 1.05);
+}
+
+TEST_F(ClusterTest, QueueingHappensWhenCoresExhausted) {
+  // 1 node x 4 cores, 6 simultaneous jobs: two must wait.
+  ClusterSimulator cluster(cluster_config(1), library_);
+  std::vector<ClusterJob> jobs(6, ClusterJob{tiny_suite()[3], 0.0});
+  const ClusterOutcome outcome = cluster.run(jobs, PlacementPolicy::kFirstFit);
+  std::size_t waited = 0;
+  for (const auto& record : outcome.jobs) {
+    if (record.start_s > record.arrival_s + 1e-9) ++waited;
+  }
+  EXPECT_EQ(waited, 2u);
+  EXPECT_GT(outcome.mean_wait_s, 0.0);
+}
+
+TEST_F(ClusterTest, LeastLoadedSpreadsAcrossNodes) {
+  ClusterSimulator cluster(cluster_config(4), library_);
+  std::vector<ClusterJob> jobs(4, ClusterJob{tiny_suite()[0], 0.0});
+  const ClusterOutcome outcome =
+      cluster.run(jobs, PlacementPolicy::kLeastLoaded);
+  std::set<std::size_t> used;
+  for (const auto& record : outcome.jobs) used.insert(record.node);
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_NEAR(outcome.mean_slowdown, 1.0, 0.02);
+}
+
+TEST_F(ClusterTest, FirstFitPacksOneNode) {
+  ClusterSimulator cluster(cluster_config(4), library_);
+  std::vector<ClusterJob> jobs(4, ClusterJob{tiny_suite()[1], 0.0});
+  const ClusterOutcome outcome = cluster.run(jobs, PlacementPolicy::kFirstFit);
+  std::set<std::size_t> used;
+  for (const auto& record : outcome.jobs) used.insert(record.node);
+  EXPECT_EQ(used.size(), 1u);
+}
+
+TEST_F(ClusterTest, InterferenceAwareBeatsFirstFitOnSlowdown) {
+  ClusterSimulator aware(cluster_config(3), library_, predictor_,
+                         &campaign_->baselines);
+  ClusterSimulator blind(cluster_config(3), library_);
+  // A mix of hungry and quiet jobs arriving in bursts.
+  std::vector<ClusterJob> jobs;
+  for (int burst = 0; burst < 2; ++burst) {
+    for (const auto& app : tiny_suite()) {
+      jobs.push_back(ClusterJob{app, burst * 50.0});
+    }
+  }
+  const ClusterOutcome aware_out =
+      aware.run(jobs, PlacementPolicy::kInterferenceAware);
+  const ClusterOutcome blind_out =
+      blind.run(jobs, PlacementPolicy::kFirstFit);
+  EXPECT_LE(aware_out.mean_slowdown, blind_out.mean_slowdown + 1e-9);
+}
+
+TEST_F(ClusterTest, InterferenceAwareNeedsPredictor) {
+  ClusterSimulator cluster(cluster_config(2), library_);
+  std::vector<ClusterJob> jobs = {{tiny_suite()[0], 0.0}};
+  EXPECT_THROW(cluster.run(jobs, PlacementPolicy::kInterferenceAware),
+               coloc::runtime_error);
+}
+
+TEST_F(ClusterTest, EmptyJobListYieldsEmptyOutcome) {
+  ClusterSimulator cluster(cluster_config(1), library_);
+  const ClusterOutcome outcome = cluster.run({}, PlacementPolicy::kFirstFit);
+  EXPECT_EQ(outcome.makespan_s, 0.0);
+  EXPECT_EQ(outcome.total_energy_j, 0.0);
+}
+
+TEST_F(ClusterTest, JobStreamGeneratorProperties) {
+  const auto jobs = make_job_stream(tiny_suite(), 10, 5.0, 7);
+  ASSERT_EQ(jobs.size(), 10u);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].arrival_s, jobs[i - 1].arrival_s);
+  }
+  EXPECT_EQ(jobs[0].app.name, tiny_suite()[0].name);
+  EXPECT_EQ(jobs[4].app.name, tiny_suite()[0].name);  // round-robin wrap
+  // Deterministic per seed.
+  const auto again = make_job_stream(tiny_suite(), 10, 5.0, 7);
+  EXPECT_DOUBLE_EQ(jobs[9].arrival_s, again[9].arrival_s);
+}
+
+TEST_F(ClusterTest, ZeroInterarrivalMeansSimultaneous) {
+  const auto jobs = make_job_stream(tiny_suite(), 5, 0.0, 1);
+  for (const auto& job : jobs) EXPECT_DOUBLE_EQ(job.arrival_s, 0.0);
+}
+
+TEST_F(ClusterTest, InvalidConfigRejected) {
+  ClusterConfig config = cluster_config(0);
+  EXPECT_THROW(ClusterSimulator(config, library_), coloc::runtime_error);
+  config = cluster_config(1);
+  config.pstate_index = 99;
+  EXPECT_THROW(ClusterSimulator(config, library_), coloc::runtime_error);
+  EXPECT_THROW(ClusterSimulator(cluster_config(1), nullptr),
+               coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::sched

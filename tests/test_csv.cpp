@@ -1,0 +1,100 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coloc {
+namespace {
+
+TEST(Csv, RoundTripSimple) {
+  CsvTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.write(os);
+  std::istringstream is(os.str());
+  const CsvTable back = CsvTable::parse(is);
+  EXPECT_EQ(back.header(), t.header());
+  EXPECT_EQ(back.num_rows(), 2u);
+  EXPECT_EQ(back.at(1, 1), "4");
+}
+
+TEST(Csv, EscapesCommasAndQuotes) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RoundTripQuotedFields) {
+  CsvTable t({"name", "note"});
+  t.add_row({"x,y", "he said \"ok\""});
+  t.add_row({"multi\nline", "plain"});
+  std::ostringstream os;
+  t.write(os);
+  std::istringstream is(os.str());
+  const CsvTable back = CsvTable::parse(is);
+  EXPECT_EQ(back.at(0, 0), "x,y");
+  EXPECT_EQ(back.at(0, 1), "he said \"ok\"");
+  EXPECT_EQ(back.at(1, 0), "multi\nline");
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable t({"alpha", "beta", "gamma"});
+  EXPECT_EQ(t.column("beta"), 1u);
+  EXPECT_THROW(t.column("delta"), invalid_argument_error);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), coloc::runtime_error);
+}
+
+TEST(Csv, AtDoubleParses) {
+  CsvTable t({"v"});
+  t.add_row({"2.5"});
+  EXPECT_DOUBLE_EQ(t.at_double(0, 0), 2.5);
+}
+
+TEST(Csv, ParsesCrlfLineEndings) {
+  std::istringstream is("a,b\r\n1,2\r\n");
+  const CsvTable t = CsvTable::parse(is);
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.at(0, 1), "2");
+}
+
+TEST(Csv, SkipsBlankLines) {
+  std::istringstream is("a,b\n1,2\n\n3,4\n");
+  const CsvTable t = CsvTable::parse(is);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Csv, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/coloc_csv_test.csv";
+  CsvTable t({"x"});
+  t.add_row({"7"});
+  t.save(path);
+  const CsvTable back = CsvTable::load(path);
+  EXPECT_EQ(back.at(0, 0), "7");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(CsvTable::load("/nonexistent/coloc.csv"),
+               coloc::runtime_error);
+}
+
+TEST(Csv, OutOfRangeAccessThrows) {
+  CsvTable t({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.at(1, 0), coloc::runtime_error);
+  EXPECT_THROW(t.at(0, 1), coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc

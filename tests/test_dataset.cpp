@@ -1,0 +1,120 @@
+#include "ml/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace coloc::ml {
+namespace {
+
+Dataset make_dataset() {
+  Dataset ds({"f0", "f1", "f2"}, "y");
+  ds.add_row(std::vector<double>{1.0, 2.0, 3.0}, 10.0, "a");
+  ds.add_row(std::vector<double>{4.0, 5.0, 6.0}, 20.0, "b");
+  ds.add_row(std::vector<double>{7.0, 8.0, 9.0}, 30.0, "c");
+  return ds;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_EQ(ds.num_features(), 3u);
+  EXPECT_EQ(ds.target_name(), "y");
+  EXPECT_DOUBLE_EQ(ds.target(1), 20.0);
+  EXPECT_EQ(ds.tag(2), "c");
+  EXPECT_DOUBLE_EQ(ds.features(1)[2], 6.0);
+}
+
+TEST(DatasetTest, WidthMismatchThrows) {
+  Dataset ds({"a", "b"}, "y");
+  EXPECT_THROW(ds.add_row(std::vector<double>{1.0}, 0.0),
+               coloc::runtime_error);
+}
+
+TEST(DatasetTest, DesignMatrixSelectsRowsAndColumns) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> rows = {2, 0};
+  const std::vector<std::size_t> cols = {1};
+  const linalg::Matrix m = ds.design_matrix(rows, cols);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.0);
+}
+
+TEST(DatasetTest, TargetSubset) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> rows = {1, 2};
+  const std::vector<double> y = ds.target_subset(rows);
+  EXPECT_EQ(y, (std::vector<double>{20.0, 30.0}));
+}
+
+TEST(DatasetTest, SubsetPreservesTags) {
+  const Dataset ds = make_dataset();
+  const std::vector<std::size_t> rows = {2};
+  const Dataset sub = ds.subset(rows);
+  EXPECT_EQ(sub.num_rows(), 1u);
+  EXPECT_EQ(sub.tag(0), "c");
+  EXPECT_DOUBLE_EQ(sub.target(0), 30.0);
+}
+
+TEST(DatasetTest, FeatureIndexLookup) {
+  const Dataset ds = make_dataset();
+  EXPECT_EQ(ds.feature_index("f1"), 1u);
+  EXPECT_THROW(ds.feature_index("zzz"), invalid_argument_error);
+}
+
+TEST(DatasetTest, CsvRoundTrip) {
+  const Dataset ds = make_dataset();
+  const CsvTable csv = ds.to_csv();
+  const Dataset back = Dataset::from_csv(csv, "y");
+  EXPECT_EQ(back.num_rows(), 3u);
+  EXPECT_EQ(back.num_features(), 3u);
+  EXPECT_DOUBLE_EQ(back.target(2), 30.0);
+  EXPECT_EQ(back.tag(0), "a");
+  EXPECT_DOUBLE_EQ(back.features(0)[1], 2.0);
+}
+
+TEST(StandardizerTest, ZeroMeanUnitVariance) {
+  linalg::Matrix x{{1.0, 10.0}, {2.0, 20.0}, {3.0, 30.0}};
+  const Standardizer s = Standardizer::fit(x);
+  s.transform(x);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < 3; ++r) sum += x(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+  }
+  EXPECT_NEAR(x(2, 0), 1.0, 1e-12);  // (3-2)/1
+}
+
+TEST(StandardizerTest, ConstantColumnPassesThrough) {
+  linalg::Matrix x{{5.0}, {5.0}, {5.0}};
+  const Standardizer s = Standardizer::fit(x);
+  s.transform(x);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(x(r, 0), 0.0);
+}
+
+TEST(StandardizerTest, InverseRecoversValue) {
+  linalg::Matrix x{{1.0}, {3.0}, {5.0}};
+  const Standardizer s = Standardizer::fit(x);
+  std::vector<double> row = {4.0};
+  s.transform_row(row);
+  EXPECT_NEAR(s.inverse(0, row[0]), 4.0, 1e-12);
+}
+
+TEST(TargetScalerTest, RoundTrip) {
+  const std::vector<double> y = {10.0, 20.0, 30.0};
+  const TargetScaler t = TargetScaler::fit(y);
+  EXPECT_NEAR(t.inverse(t.transform(17.0)), 17.0, 1e-12);
+  const auto z = t.transform_all(y);
+  EXPECT_NEAR(z[0] + z[1] + z[2], 0.0, 1e-12);
+}
+
+TEST(DatasetTest, EmptyFeatureListRejected) {
+  EXPECT_THROW(Dataset({}, "y"), coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::ml

@@ -1,0 +1,152 @@
+#include "sched/dvfs_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::sched {
+namespace {
+
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+class DvfsPolicyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = new sim::AppMrcLibrary();
+    simulator_ = new sim::Simulator(tiny_machine(), library_);
+    core::CampaignConfig config;
+    config.targets = tiny_suite();
+    config.coapps = {config.targets[0], config.targets[3]};
+    campaign_ =
+        new core::CampaignResult(core::run_campaign(*simulator_, config));
+    core::ModelZooOptions zoo;
+    zoo.mlp.max_iterations = 400;
+    predictor_ = new core::ColocationPredictor(
+        core::ColocationPredictor::train(
+            campaign_->dataset,
+            {core::ModelTechnique::kNeuralNetwork, core::FeatureSet::kF},
+            zoo));
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete campaign_;
+    delete simulator_;
+    delete library_;
+  }
+
+  static sim::AppMrcLibrary* library_;
+  static sim::Simulator* simulator_;
+  static core::CampaignResult* campaign_;
+  static core::ColocationPredictor* predictor_;
+};
+
+sim::AppMrcLibrary* DvfsPolicyTest::library_ = nullptr;
+sim::Simulator* DvfsPolicyTest::simulator_ = nullptr;
+core::CampaignResult* DvfsPolicyTest::campaign_ = nullptr;
+core::ColocationPredictor* DvfsPolicyTest::predictor_ = nullptr;
+
+TEST_F(DvfsPolicyTest, LooseDeadlinePicksEnergyOptimalState) {
+  // With an effectively infinite deadline, the chosen state must be the
+  // energy argmin over the ladder (with our presets' static power, that
+  // is often race-to-idle — the policy should find whichever wins).
+  const core::BaselineProfile& target = campaign_->baselines.at("quiet");
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, /*deadline=*/1e9);
+  ASSERT_TRUE(d.feasible);
+  const double chosen_energy = d.predicted_energy_j;
+  for (std::size_t p = 0; p < tiny_machine().pstates.size(); ++p) {
+    const double t = predictor_->predict_time(target, {}, p);
+    const double e = energy_j(tiny_machine(), p, 1, t);
+    EXPECT_GE(e, chosen_energy - 1e-9) << "P" << p << " beats the choice";
+  }
+}
+
+TEST_F(DvfsPolicyTest, WithoutStaticPowerSlowestStateWins) {
+  // Strip static power: dynamic-only energy scales as V^2 (time x f
+  // cancels f), so the lowest-voltage (slowest) state is optimal for a
+  // CPU-bound job with an unlimited deadline.
+  sim::MachineConfig machine = tiny_machine();
+  machine.static_power_w = 0.0;
+  const core::BaselineProfile& target = campaign_->baselines.at("quiet");
+  const DvfsDecision d = choose_pstate_for_deadline(
+      machine, *predictor_, target, {}, /*deadline=*/1e9);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.pstate_index, machine.pstates.size() - 1);
+}
+
+TEST_F(DvfsPolicyTest, TightDeadlinePicksFastState) {
+  const core::BaselineProfile& target = campaign_->baselines.at("quiet");
+  const double p0_time = target.time_at(0);
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, p0_time * 1.05);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_EQ(d.pstate_index, 0u);
+}
+
+TEST_F(DvfsPolicyTest, ImpossibleDeadlineReportedInfeasible) {
+  const core::BaselineProfile& target = campaign_->baselines.at("quiet");
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, /*deadline=*/0.001);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.pstate_index, 0u);
+  EXPECT_GT(d.predicted_time_s, 0.001);
+}
+
+TEST_F(DvfsPolicyTest, InterferenceForcesFasterStateThanBaselinePolicy) {
+  // Under heavy co-location, the interference-aware policy must pick a
+  // P-state at least as fast as the baseline-only policy picks, because
+  // the predicted (degraded) time exceeds the baseline time.
+  const core::BaselineProfile& target = campaign_->baselines.at("hog");
+  const core::BaselineProfile& co = campaign_->baselines.at("hog");
+  const std::vector<const core::BaselineProfile*> coapps(3, &co);
+  // Deadline chosen between the baseline P2 time and the degraded P2 time.
+  const double deadline = target.time_at(1) * 1.08;
+  const DvfsDecision naive = choose_pstate_baseline_only(
+      tiny_machine(), target, coapps.size(), deadline);
+  const DvfsDecision aware = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, coapps, deadline);
+  EXPECT_LE(aware.pstate_index, naive.pstate_index);
+}
+
+TEST_F(DvfsPolicyTest, AwareDecisionActuallyMeetsDeadline) {
+  const core::BaselineProfile& target = campaign_->baselines.at("medium");
+  const core::BaselineProfile& co = campaign_->baselines.at("hog");
+  const std::vector<const core::BaselineProfile*> coapps(2, &co);
+  const double deadline = target.time_at(2) * 1.4;
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, coapps, deadline);
+  if (!d.feasible) GTEST_SKIP() << "no feasible state for this deadline";
+  // Replay in the simulator.
+  const auto suite = tiny_suite();
+  const sim::RunMeasurement actual = simulator_->run_colocated(
+      suite[1], {suite[0], suite[0]}, d.pstate_index, /*rep=*/77);
+  EXPECT_LE(actual.execution_time_s, deadline * 1.1);
+}
+
+TEST_F(DvfsPolicyTest, EnergyReportedPositive) {
+  const core::BaselineProfile& target = campaign_->baselines.at("light");
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, 1e9);
+  EXPECT_GT(d.predicted_energy_j, 0.0);
+}
+
+TEST_F(DvfsPolicyTest, InvalidInputsRejected) {
+  const core::BaselineProfile& target = campaign_->baselines.at("quiet");
+  EXPECT_THROW(choose_pstate_for_deadline(tiny_machine(), *predictor_,
+                                          target, {}, 0.0),
+               coloc::runtime_error);
+  const core::BaselineProfile& co = campaign_->baselines.at("hog");
+  const std::vector<const core::BaselineProfile*> too_many(
+      tiny_machine().cores, &co);
+  EXPECT_THROW(choose_pstate_for_deadline(tiny_machine(), *predictor_,
+                                          target, too_many, 100.0),
+               coloc::runtime_error);
+  EXPECT_THROW(choose_pstate_baseline_only(tiny_machine(), target,
+                                           tiny_machine().cores, 100.0),
+               coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::sched

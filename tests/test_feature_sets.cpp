@@ -1,0 +1,71 @@
+#include "core/feature_sets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace coloc::core {
+namespace {
+
+TEST(FeatureSets, Table2Progression) {
+  EXPECT_EQ(feature_set_columns(FeatureSet::kA),
+            (std::vector<std::size_t>{0}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::kB),
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::kC),
+            (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::kD),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::kE),
+            (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(feature_set_columns(FeatureSet::kF),
+            (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(FeatureSets, EachSetExtendsThePrevious) {
+  const FeatureSet sets[] = {FeatureSet::kA, FeatureSet::kB, FeatureSet::kC,
+                             FeatureSet::kD, FeatureSet::kE, FeatureSet::kF};
+  for (std::size_t i = 1; i < 6; ++i) {
+    const auto& prev = feature_set_columns(sets[i - 1]);
+    const auto& cur = feature_set_columns(sets[i]);
+    ASSERT_GT(cur.size(), prev.size());
+    for (std::size_t k = 0; k < prev.size(); ++k)
+      EXPECT_EQ(cur[k], prev[k]);
+  }
+}
+
+TEST(FeatureSets, SetFUsesAllEightFeatures) {
+  EXPECT_EQ(feature_set_columns(FeatureSet::kF).size(), kNumFeatures);
+}
+
+TEST(FeatureSets, IdsMatchColumns) {
+  const auto ids = feature_set_ids(FeatureSet::kC);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], FeatureId::kBaseExTime);
+  EXPECT_EQ(ids[1], FeatureId::kNumCoApp);
+  EXPECT_EQ(ids[2], FeatureId::kCoAppMem);
+}
+
+TEST(FeatureSets, NamesRoundTrip) {
+  for (FeatureSet set : kAllFeatureSets) {
+    EXPECT_EQ(parse_feature_set(to_string(set)), set);
+  }
+}
+
+TEST(FeatureSets, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_feature_set("f"), FeatureSet::kF);
+  EXPECT_EQ(parse_feature_set("a"), FeatureSet::kA);
+}
+
+TEST(FeatureSets, ParseRejectsUnknown) {
+  EXPECT_THROW(parse_feature_set("G"), invalid_argument_error);
+  EXPECT_THROW(parse_feature_set(""), coloc::runtime_error);
+  EXPECT_THROW(parse_feature_set("AB"), coloc::runtime_error);
+}
+
+TEST(FeatureSets, AllFeatureSetsHasSixEntries) {
+  EXPECT_EQ(std::size(kAllFeatureSets), 6u);
+}
+
+}  // namespace
+}  // namespace coloc::core

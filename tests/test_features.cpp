@@ -1,0 +1,106 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::core {
+namespace {
+
+using testing_helpers::tiny_app;
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest() : simulator_(tiny_machine(), &library_) {}
+
+  sim::AppMrcLibrary library_;
+  sim::Simulator simulator_;
+};
+
+TEST_F(FeaturesTest, FeatureNamesMatchTable1) {
+  const auto& names = feature_names();
+  ASSERT_EQ(names.size(), kNumFeatures);
+  EXPECT_EQ(names[0], "baseExTime");
+  EXPECT_EQ(names[1], "numCoApp");
+  EXPECT_EQ(names[2], "coAppMem");
+  EXPECT_EQ(names[3], "targetMem");
+  EXPECT_EQ(to_string(FeatureId::kTargetCaIns), "targetCA_INS");
+}
+
+TEST_F(FeaturesTest, BaselineCoversEveryPState) {
+  const auto app = tiny_app("a", 50'000, 1e-3);
+  const BaselineProfile profile = collect_baseline(simulator_, app);
+  EXPECT_EQ(profile.execution_time_s.size(),
+            simulator_.machine().pstates.size());
+  EXPECT_EQ(profile.app_name, "a");
+  for (double t : profile.execution_time_s) EXPECT_GT(t, 0.0);
+}
+
+TEST_F(FeaturesTest, BaselineTimesIncreaseAsFrequencyDrops) {
+  const auto app = tiny_app("a", 2'000, 1e-6);
+  const BaselineProfile profile = collect_baseline(simulator_, app);
+  for (std::size_t p = 1; p < profile.execution_time_s.size(); ++p)
+    EXPECT_GT(profile.execution_time_s[p], profile.execution_time_s[p - 1]);
+}
+
+TEST_F(FeaturesTest, HungryAppHasHigherIntensity) {
+  const BaselineProfile hog =
+      collect_baseline(simulator_, tiny_app("hog", 120'000, 4e-3, 0.03));
+  const BaselineProfile quiet =
+      collect_baseline(simulator_, tiny_app("quiet", 1'000, 1e-6, 0.01));
+  EXPECT_GT(hog.memory_intensity, 100.0 * quiet.memory_intensity);
+}
+
+TEST_F(FeaturesTest, CollectBaselinesKeysByName) {
+  const auto apps = tiny_suite();
+  const BaselineLibrary lib = collect_baselines(simulator_, apps);
+  EXPECT_EQ(lib.size(), apps.size());
+  for (const auto& app : apps) EXPECT_TRUE(lib.count(app.name));
+}
+
+TEST_F(FeaturesTest, FeatureVectorLayoutMatchesTable1) {
+  const BaselineProfile target =
+      collect_baseline(simulator_, tiny_app("t", 50'000, 1e-3));
+  const BaselineProfile co =
+      collect_baseline(simulator_, tiny_app("c", 120'000, 4e-3, 0.03));
+  const std::vector<const BaselineProfile*> coapps = {&co, &co, &co};
+  const auto f = compute_features(target, coapps, 1);
+
+  EXPECT_DOUBLE_EQ(f[0], target.time_at(1));
+  EXPECT_DOUBLE_EQ(f[1], 3.0);
+  EXPECT_NEAR(f[2], 3.0 * co.memory_intensity, 1e-12);
+  EXPECT_DOUBLE_EQ(f[3], target.memory_intensity);
+  EXPECT_NEAR(f[4], 3.0 * co.cm_per_ca, 1e-12);
+  EXPECT_NEAR(f[5], 3.0 * co.ca_per_ins, 1e-12);
+  EXPECT_DOUBLE_EQ(f[6], target.cm_per_ca);
+  EXPECT_DOUBLE_EQ(f[7], target.ca_per_ins);
+}
+
+TEST_F(FeaturesTest, NoCoAppsGiveZeroCoFeatures) {
+  const BaselineProfile target =
+      collect_baseline(simulator_, tiny_app("t", 50'000, 1e-3));
+  const auto f = compute_features(target, {}, 0);
+  EXPECT_DOUBLE_EQ(f[1], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+  EXPECT_DOUBLE_EQ(f[4], 0.0);
+  EXPECT_DOUBLE_EQ(f[5], 0.0);
+}
+
+TEST_F(FeaturesTest, TimeAtOutOfRangeThrows) {
+  BaselineProfile p;
+  p.execution_time_s = {1.0, 2.0};
+  EXPECT_THROW(p.time_at(2), coloc::runtime_error);
+}
+
+TEST_F(FeaturesTest, NullCoAppThrows) {
+  const BaselineProfile target =
+      collect_baseline(simulator_, tiny_app("t", 50'000, 1e-3));
+  const std::vector<const BaselineProfile*> bad = {nullptr};
+  EXPECT_THROW(compute_features(target, bad, 0), coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::core

@@ -1,0 +1,166 @@
+#include "core/generalization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::core {
+namespace {
+
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+class GeneralizationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = new sim::AppMrcLibrary();
+    simulator_ = new sim::Simulator(tiny_machine(), library_);
+    CampaignConfig config;
+    config.targets = tiny_suite();
+    // Train with only two of the four apps as co-runners; the other two
+    // are "unseen" in the generalization sense.
+    config.coapps = {config.targets[0], config.targets[3]};
+    campaign_ = new CampaignResult(run_campaign(*simulator_, config));
+    ModelZooOptions zoo;
+    zoo.mlp.max_iterations = 400;
+    predictor_ = new ColocationPredictor(ColocationPredictor::train(
+        campaign_->dataset,
+        {ModelTechnique::kNeuralNetwork, FeatureSet::kF}, zoo));
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete campaign_;
+    delete simulator_;
+    delete library_;
+  }
+
+  static std::vector<std::string> training_names() {
+    return {"hog", "quiet"};
+  }
+
+  static sim::AppMrcLibrary* library_;
+  static sim::Simulator* simulator_;
+  static CampaignResult* campaign_;
+  static ColocationPredictor* predictor_;
+};
+
+sim::AppMrcLibrary* GeneralizationTest::library_ = nullptr;
+sim::Simulator* GeneralizationTest::simulator_ = nullptr;
+CampaignResult* GeneralizationTest::campaign_ = nullptr;
+ColocationPredictor* GeneralizationTest::predictor_ = nullptr;
+
+TEST_F(GeneralizationTest, SeenScenariosUseOnlyTrainingCoApps) {
+  GeneralizationOptions options;
+  options.scenarios = 40;
+  const auto scenarios = make_seen_scenarios(
+      tiny_machine(), tiny_suite(), training_names(), options);
+  EXPECT_EQ(scenarios.size(), 40u);
+  for (const auto& s : scenarios) {
+    EXPECT_FALSE(s.coapps.empty());
+    EXPECT_LE(s.coapps.size(), tiny_machine().cores - 1);
+    for (const auto& co : s.coapps) {
+      EXPECT_TRUE(co == "hog" || co == "quiet") << co;
+    }
+    // Homogeneous groups only.
+    for (const auto& co : s.coapps) EXPECT_EQ(co, s.coapps.front());
+  }
+}
+
+TEST_F(GeneralizationTest, UnseenScenariosAvoidTrainingCoApps) {
+  GeneralizationOptions options;
+  options.scenarios = 40;
+  const auto scenarios = make_unseen_scenarios(
+      tiny_machine(), tiny_suite(), training_names(), options);
+  for (const auto& s : scenarios) {
+    for (const auto& co : s.coapps) {
+      EXPECT_TRUE(co == "medium" || co == "light") << co;
+    }
+  }
+}
+
+TEST_F(GeneralizationTest, HeterogeneousScenariosActuallyMix) {
+  GeneralizationOptions options;
+  options.scenarios = 40;
+  const auto scenarios =
+      make_heterogeneous_scenarios(tiny_machine(), tiny_suite(), options);
+  for (const auto& s : scenarios) {
+    std::set<std::string> distinct(s.coapps.begin(), s.coapps.end());
+    EXPECT_GE(distinct.size(), 2u);
+    EXPECT_GE(s.coapps.size(), 2u);
+  }
+}
+
+TEST_F(GeneralizationTest, ScenariosAreDeterministicPerSeed) {
+  GeneralizationOptions options;
+  options.scenarios = 10;
+  const auto a = make_unseen_scenarios(tiny_machine(), tiny_suite(),
+                                       training_names(), options);
+  const auto b = make_unseen_scenarios(tiny_machine(), tiny_suite(),
+                                       training_names(), options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].coapps, b[i].coapps);
+    EXPECT_EQ(a[i].pstate_index, b[i].pstate_index);
+  }
+}
+
+TEST_F(GeneralizationTest, ReportCoversAllCategories) {
+  GeneralizationOptions options;
+  options.scenarios = 30;
+  const GeneralizationReport report = evaluate_generalization(
+      *simulator_, *predictor_, campaign_->baselines, tiny_suite(),
+      training_names(), options);
+  EXPECT_EQ(report.seen_records.size(), 30u);
+  EXPECT_EQ(report.unseen_records.size(), 30u);
+  EXPECT_EQ(report.mixed_records.size(), 30u);
+  EXPECT_GT(report.seen_homogeneous_mpe, 0.0);
+  EXPECT_GT(report.unseen_homogeneous_mpe, 0.0);
+  EXPECT_GT(report.heterogeneous_mpe, 0.0);
+}
+
+TEST_F(GeneralizationTest, ModelGeneralizesReasonably) {
+  // The paper's claim: the structured sweep lets the model extend beyond
+  // its training co-runners. Generalization error may grow, but should
+  // stay within the same order of magnitude as seen-scenario error.
+  GeneralizationOptions options;
+  options.scenarios = 60;
+  const GeneralizationReport report = evaluate_generalization(
+      *simulator_, *predictor_, campaign_->baselines, tiny_suite(),
+      training_names(), options);
+  EXPECT_LT(report.seen_homogeneous_mpe, 15.0);
+  EXPECT_LT(report.unseen_homogeneous_mpe,
+            10.0 * report.seen_homogeneous_mpe + 10.0);
+  EXPECT_LT(report.heterogeneous_mpe,
+            10.0 * report.seen_homogeneous_mpe + 10.0);
+}
+
+TEST_F(GeneralizationTest, RecordsContainConsistentErrors) {
+  GeneralizationOptions options;
+  options.scenarios = 10;
+  const GeneralizationReport report = evaluate_generalization(
+      *simulator_, *predictor_, campaign_->baselines, tiny_suite(),
+      training_names(), options);
+  for (const auto& r : report.unseen_records) {
+    EXPECT_GT(r.actual_s, 0.0);
+    EXPECT_GT(r.predicted_s, 0.0);
+    EXPECT_NEAR(r.percent_error,
+                100.0 * (r.predicted_s - r.actual_s) / r.actual_s, 1e-9);
+  }
+}
+
+TEST_F(GeneralizationTest, AllTrainedCoAppsMeansNoUnseenPool) {
+  GeneralizationOptions options;
+  options.scenarios = 5;
+  const std::vector<std::string> everything = {"hog", "medium", "light",
+                                               "quiet"};
+  EXPECT_THROW(make_unseen_scenarios(tiny_machine(), tiny_suite(),
+                                     everything, options),
+               coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::core

@@ -1,0 +1,64 @@
+// Shared fixtures: a small fast machine and tiny applications so the core
+// pipeline tests run in milliseconds instead of profiling 64 MB working
+// sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/app_model.hpp"
+#include "sim/execution.hpp"
+#include "sim/machine.hpp"
+
+namespace coloc::testing_helpers {
+
+/// 4-core machine, 2 MB LLC, 3 P-states — tiny but structurally complete.
+inline sim::MachineConfig tiny_machine() {
+  sim::MachineConfig m;
+  m.name = "TinyTest 4-core";
+  m.cores = 4;
+  m.llc_bytes = 2ULL << 20;
+  m.line_bytes = 64;
+  m.llc_associativity = 16;
+  m.private_bytes = 128ULL << 10;
+  m.memory_bandwidth_gbs = 10.0;
+  m.memory_latency_ns = 70.0;
+  m.memory_queue_sensitivity = 0.5;
+  m.pstates = sim::PStateTable::evenly_spaced(1.5, 2.5, 3);
+  sim::validate(m);
+  return m;
+}
+
+/// Small app with a configurable working set / intensity profile.
+inline sim::ApplicationSpec tiny_app(const std::string& name,
+                                     std::size_t ws_lines, double compulsory,
+                                     double rpi = 0.02,
+                                     double instructions = 100e9) {
+  sim::ApplicationSpec a;
+  a.name = name;
+  a.instructions = instructions;
+  a.cpi_base = 0.7;
+  a.refs_per_instruction = rpi;
+  a.mlp = 2.5;
+  a.compulsory_misses_per_instruction = compulsory;
+  sim::Phase p;
+  p.working_set_lines = ws_lines;
+  p.mix = {.hot_cold = 0.7, .pointer = 0.3};
+  p.zipf_exponent = 0.85;
+  a.trace.phases = {p};
+  a.trace.name = name;
+  a.profile_references = 120'000;
+  return a;
+}
+
+/// A 4-app mini-suite spanning hungry-to-quiet behaviour.
+inline std::vector<sim::ApplicationSpec> tiny_suite() {
+  return {
+      tiny_app("hog", 120'000, 4e-3, 0.03),     // class I analogue
+      tiny_app("medium", 30'000, 4e-4, 0.02),   // class II analogue
+      tiny_app("light", 6'000, 5e-5, 0.015),    // class III analogue
+      tiny_app("quiet", 1'000, 1e-6, 0.01),     // class IV analogue
+  };
+}
+
+}  // namespace coloc::testing_helpers

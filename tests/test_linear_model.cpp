@@ -1,0 +1,118 @@
+#include "ml/linear_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace coloc::ml {
+namespace {
+
+TEST(LinearModelTest, RecoversExactLinearRelation) {
+  coloc::Rng rng(1);
+  linalg::Matrix x(60, 2);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = rng.uniform(0, 10);
+    x(i, 1) = rng.uniform(-5, 5);
+    y[i] = 3.0 * x(i, 0) - 2.0 * x(i, 1) + 7.0;
+  }
+  const LinearModel m = LinearModel::fit(x, y);
+  EXPECT_NEAR(m.coefficients()[0], 3.0, 1e-9);
+  EXPECT_NEAR(m.coefficients()[1], -2.0, 1e-9);
+  EXPECT_NEAR(m.intercept(), 7.0, 1e-9);
+  EXPECT_NEAR(m.predict(std::vector<double>{1.0, 1.0}), 8.0, 1e-9);
+}
+
+TEST(LinearModelTest, StandardizedAndRawGiveSamePredictions) {
+  coloc::Rng rng(2);
+  linalg::Matrix x(40, 2);
+  std::vector<double> y(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    x(i, 0) = rng.uniform(1000, 2000);  // large-scale feature
+    x(i, 1) = rng.uniform(0, 1e-3);     // tiny-scale feature
+    y[i] = 0.01 * x(i, 0) + 500.0 * x(i, 1) + rng.normal(0, 0.01);
+  }
+  const LinearModel std_m =
+      LinearModel::fit(x, y, {.ridge_lambda = 0.0, .standardize = true});
+  const LinearModel raw_m =
+      LinearModel::fit(x, y, {.ridge_lambda = 0.0, .standardize = false});
+  const std::vector<double> probe = {1500.0, 5e-4};
+  EXPECT_NEAR(std_m.predict(probe), raw_m.predict(probe), 1e-6);
+}
+
+TEST(LinearModelTest, NoisyFitHasSmallError) {
+  coloc::Rng rng(3);
+  linalg::Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.normal();
+    y[i] = 100.0 + 5.0 * x(i, 0) + rng.normal(0, 0.5);
+  }
+  const LinearModel m = LinearModel::fit(x, y);
+  const auto pred = m.predict_all(x);
+  EXPECT_LT(mean_percent_error(pred, y), 1.0);
+}
+
+TEST(LinearModelTest, RidgeShrinks) {
+  coloc::Rng rng(4);
+  linalg::Matrix x(50, 2);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = 2.0 * x(i, 0) + 2.0 * x(i, 1);
+  }
+  const LinearModel ols = LinearModel::fit(x, y);
+  const LinearModel ridge = LinearModel::fit(x, y, {.ridge_lambda = 1000.0});
+  EXPECT_LT(std::abs(ridge.coefficients()[0]),
+            std::abs(ols.coefficients()[0]));
+}
+
+TEST(LinearModelTest, RidgeDoesNotPenalizeIntercept) {
+  // With a huge ridge penalty, coefficients go to ~0 but the intercept
+  // should still approach the target mean.
+  coloc::Rng rng(5);
+  linalg::Matrix x(50, 1);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.normal();
+    y[i] = 50.0 + x(i, 0);
+  }
+  const LinearModel m = LinearModel::fit(x, y, {.ridge_lambda = 1e9});
+  EXPECT_NEAR(m.predict(std::vector<double>{0.0}), 50.0, 1.0);
+}
+
+TEST(LinearModelTest, PredictWidthMismatchThrows) {
+  coloc::Rng rng(9);
+  linalg::Matrix x(10, 2);
+  std::vector<double> y(10, 1.0);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    x(i, 1) = rng.normal();
+  }
+  const LinearModel m = LinearModel::fit(x, y);
+  EXPECT_THROW(m.predict(std::vector<double>{1.0}), coloc::runtime_error);
+}
+
+TEST(LinearModelTest, TooFewRowsThrows) {
+  linalg::Matrix x(2, 2, 1.0);
+  std::vector<double> y(2, 1.0);
+  EXPECT_THROW(LinearModel::fit(x, y), coloc::runtime_error);
+}
+
+TEST(LinearModelTest, DescribeMentionsSize) {
+  linalg::Matrix x(10, 2);
+  std::vector<double> y(10);
+  coloc::Rng rng(6);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.normal();
+    x(i, 1) = rng.normal();
+    y[i] = x(i, 0);
+  }
+  const LinearModel m = LinearModel::fit(x, y);
+  EXPECT_NE(m.describe().find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coloc::ml

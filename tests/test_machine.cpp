@@ -1,0 +1,79 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+namespace {
+
+TEST(MachineTest, Xeon6CoreMatchesTable4) {
+  const MachineConfig m = xeon_e5649();
+  EXPECT_EQ(m.cores, 6u);
+  EXPECT_EQ(m.llc_bytes, 12ULL << 20);
+  EXPECT_NEAR(m.pstates.min_frequency(), 1.60, 1e-9);
+  EXPECT_NEAR(m.pstates.max_frequency(), 2.53, 1e-9);
+  EXPECT_EQ(m.pstates.size(), 6u);  // six P-states per Table V
+}
+
+TEST(MachineTest, Xeon12CoreMatchesTable4) {
+  const MachineConfig m = xeon_e5_2697v2();
+  EXPECT_EQ(m.cores, 12u);
+  EXPECT_EQ(m.llc_bytes, 30ULL << 20);
+  EXPECT_NEAR(m.pstates.min_frequency(), 1.20, 1e-9);
+  EXPECT_NEAR(m.pstates.max_frequency(), 2.70, 1e-9);
+  EXPECT_EQ(m.pstates.size(), 6u);
+}
+
+TEST(MachineTest, Generic8CoreValidates) {
+  EXPECT_NO_THROW(validate(generic_8core()));
+  EXPECT_EQ(generic_8core().cores, 8u);
+}
+
+TEST(MachineTest, DerivedLineCounts) {
+  const MachineConfig m = xeon_e5649();
+  EXPECT_EQ(m.llc_lines(), (12ULL << 20) / 64);
+  EXPECT_EQ(m.private_lines(), (256ULL << 10) / 64);
+}
+
+TEST(MachineTest, ValidateRejectsZeroCores) {
+  MachineConfig m = generic_8core();
+  m.cores = 0;
+  EXPECT_THROW(validate(m), invalid_argument_error);
+}
+
+TEST(MachineTest, ValidateRejectsMisalignedLlc) {
+  MachineConfig m = generic_8core();
+  m.llc_bytes = 1000;  // not a multiple of 64
+  EXPECT_THROW(validate(m), invalid_argument_error);
+}
+
+TEST(MachineTest, ValidateRejectsBadAssociativity) {
+  MachineConfig m = generic_8core();
+  m.llc_associativity = 7;  // does not divide line count
+  EXPECT_THROW(validate(m), invalid_argument_error);
+}
+
+TEST(MachineTest, ValidateRejectsPrivateBiggerThanLlc) {
+  MachineConfig m = generic_8core();
+  m.private_bytes = m.llc_bytes * 2;
+  EXPECT_THROW(validate(m), invalid_argument_error);
+}
+
+TEST(MachineTest, ValidateRejectsNonpositiveMemory) {
+  MachineConfig m = generic_8core();
+  m.memory_bandwidth_gbs = 0.0;
+  EXPECT_THROW(validate(m), invalid_argument_error);
+  m = generic_8core();
+  m.memory_latency_ns = -1.0;
+  EXPECT_THROW(validate(m), invalid_argument_error);
+}
+
+TEST(MachineTest, TwelveCoreHasMoreBandwidth) {
+  // Ivy Bridge-EP has four DDR3-1866 channels vs Westmere's three 1333.
+  EXPECT_GT(xeon_e5_2697v2().memory_bandwidth_gbs,
+            xeon_e5649().memory_bandwidth_gbs);
+}
+
+}  // namespace
+}  // namespace coloc::sim

@@ -1,0 +1,110 @@
+#include "core/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/metrics.hpp"
+
+namespace coloc::core {
+namespace {
+
+TEST(ModelZoo, TechniqueNames) {
+  EXPECT_EQ(to_string(ModelTechnique::kLinear), "linear");
+  EXPECT_EQ(to_string(ModelTechnique::kNeuralNetwork), "nn");
+}
+
+TEST(ModelZoo, ModelIdNameCombinesBoth) {
+  const ModelId id{ModelTechnique::kNeuralNetwork, FeatureSet::kF};
+  EXPECT_EQ(id.name(), "nn-F");
+}
+
+TEST(ModelZoo, HiddenUnitsFollowPaperRange) {
+  // Section III-D: "vary in the number of nodes used from ten to twenty
+  // depending on the model feature set".
+  EXPECT_EQ(hidden_units_for(FeatureSet::kA), 10u);
+  EXPECT_EQ(hidden_units_for(FeatureSet::kF), 20u);
+  for (FeatureSet set : kAllFeatureSets) {
+    const std::size_t h = hidden_units_for(set);
+    EXPECT_GE(h, 10u);
+    EXPECT_LE(h, 20u);
+  }
+}
+
+TEST(ModelZoo, HiddenUnitsMonotoneInFeatureCount) {
+  std::size_t prev = 0;
+  for (FeatureSet set : kAllFeatureSets) {
+    const std::size_t h = hidden_units_for(set);
+    EXPECT_GE(h, prev);
+    prev = h;
+  }
+}
+
+linalg::Matrix toy_x(std::size_t n, coloc::Rng& rng) {
+  linalg::Matrix x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform(0, 1);
+    x(i, 1) = rng.uniform(0, 1);
+  }
+  return x;
+}
+
+TEST(ModelZoo, LinearFactoryFitsLinearData) {
+  coloc::Rng rng(1);
+  const linalg::Matrix x = toy_x(80, rng);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) y[i] = 5.0 + x(i, 0) - 2.0 * x(i, 1);
+  const auto factory =
+      make_model_factory({ModelTechnique::kLinear, FeatureSet::kB});
+  const ml::RegressorPtr model = factory(x, y);
+  ASSERT_NE(model, nullptr);
+  const auto pred = model->predict_all(x);
+  EXPECT_LT(ml::mean_percent_error(pred, y), 1e-6);
+}
+
+TEST(ModelZoo, NnFactoryFitsNonlinearData) {
+  coloc::Rng rng(2);
+  const linalg::Matrix x = toy_x(150, rng);
+  std::vector<double> y(150);
+  for (std::size_t i = 0; i < 150; ++i)
+    y[i] = 3.0 + x(i, 0) * x(i, 1);  // multiplicative interaction
+  ModelZooOptions options;
+  options.mlp.max_iterations = 400;
+  const auto factory = make_model_factory(
+      {ModelTechnique::kNeuralNetwork, FeatureSet::kB}, options);
+  const ml::RegressorPtr model = factory(x, y);
+  ASSERT_NE(model, nullptr);
+  const auto pred = model->predict_all(x);
+  EXPECT_LT(ml::mean_percent_error(pred, y), 2.0);
+}
+
+TEST(ModelZoo, FixedHiddenUnitsOverrideRule) {
+  coloc::Rng rng(3);
+  const linalg::Matrix x = toy_x(40, rng);
+  std::vector<double> y(40, 1.0);
+  for (std::size_t i = 0; i < 40; ++i) y[i] = x(i, 0);
+  ModelZooOptions options;
+  options.fixed_hidden_units = true;
+  options.mlp.hidden_units = 3;
+  options.mlp.max_iterations = 50;
+  const auto factory = make_model_factory(
+      {ModelTechnique::kNeuralNetwork, FeatureSet::kB}, options);
+  const ml::RegressorPtr model = factory(x, y);
+  EXPECT_NE(model->describe().find("hidden=3"), std::string::npos);
+}
+
+TEST(ModelZoo, SeedSaltChangesNnInitialization) {
+  coloc::Rng rng(4);
+  const linalg::Matrix x = toy_x(60, rng);
+  std::vector<double> y(60);
+  for (std::size_t i = 0; i < 60; ++i) y[i] = x(i, 0) + 0.2 * x(i, 1);
+  ModelZooOptions options;
+  options.mlp.max_iterations = 10;  // stop early so initializations show
+  const ModelId id{ModelTechnique::kNeuralNetwork, FeatureSet::kB};
+  const auto m1 = make_model_factory(id, options, 1)(x, y);
+  const auto m2 = make_model_factory(id, options, 2)(x, y);
+  const std::vector<double> probe = {0.5, 0.5};
+  EXPECT_NE(m1->predict(probe), m2->predict(probe));
+}
+
+}  // namespace
+}  // namespace coloc::core

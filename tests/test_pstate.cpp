@@ -1,0 +1,68 @@
+#include "sim/pstate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace coloc::sim {
+namespace {
+
+TEST(PStateTest, EvenlySpacedEndpoints) {
+  const PStateTable t = PStateTable::evenly_spaced(1.2, 2.7, 6);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_DOUBLE_EQ(t[0].frequency_ghz, 2.7);
+  EXPECT_DOUBLE_EQ(t[5].frequency_ghz, 1.2);
+  EXPECT_DOUBLE_EQ(t.max_frequency(), 2.7);
+  EXPECT_DOUBLE_EQ(t.min_frequency(), 1.2);
+}
+
+TEST(PStateTest, DescendingOrder) {
+  const PStateTable t = PStateTable::evenly_spaced(1.6, 2.53, 6);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_LT(t[i].frequency_ghz, t[i - 1].frequency_ghz);
+}
+
+TEST(PStateTest, VoltageScalesWithFrequency) {
+  const PStateTable t = PStateTable::evenly_spaced(1.0, 2.0, 4, 0.8, 1.2);
+  EXPECT_DOUBLE_EQ(t[0].voltage, 1.2);
+  EXPECT_DOUBLE_EQ(t[3].voltage, 0.8);
+  for (std::size_t i = 1; i < t.size(); ++i)
+    EXPECT_LT(t[i].voltage, t[i - 1].voltage);
+}
+
+TEST(PStateTest, SingleState) {
+  const PStateTable t = PStateTable::evenly_spaced(1.0, 2.0, 1);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0].frequency_ghz, 2.0);
+}
+
+TEST(PStateTest, RelativeDynamicPower) {
+  const PStateTable t = PStateTable::evenly_spaced(1.0, 2.0, 2, 0.8, 1.2);
+  EXPECT_DOUBLE_EQ(t.relative_dynamic_power(0), 1.0);
+  // P1: (0.8/1.2)^2 * (1.0/2.0).
+  EXPECT_NEAR(t.relative_dynamic_power(1),
+              (0.8 / 1.2) * (0.8 / 1.2) * 0.5, 1e-12);
+}
+
+TEST(PStateTest, ConstructorValidatesOrdering) {
+  EXPECT_THROW(PStateTable(std::vector<PState>{{1.0, 1.0}, {2.0, 1.0}}),
+               coloc::runtime_error);
+  EXPECT_THROW(PStateTable(std::vector<PState>{{0.0, 1.0}}),
+               coloc::runtime_error);
+  EXPECT_THROW(PStateTable(std::vector<PState>{}), coloc::runtime_error);
+}
+
+TEST(PStateTest, IndexOutOfRangeThrows) {
+  const PStateTable t = PStateTable::evenly_spaced(1.0, 2.0, 3);
+  EXPECT_THROW(t[3], coloc::runtime_error);
+}
+
+TEST(PStateTest, InvalidRangeRejected) {
+  EXPECT_THROW(PStateTable::evenly_spaced(2.0, 1.0, 4),
+               coloc::runtime_error);
+  EXPECT_THROW(PStateTable::evenly_spaced(1.0, 2.0, 0),
+               coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::sim

@@ -1,0 +1,137 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::core {
+namespace {
+
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+EvaluationSuite fake_suite() {
+  EvaluationSuite suite;
+  double v = 1.0;
+  for (ModelTechnique t : kAllTechniques) {
+    for (FeatureSet s : kAllFeatureSets) {
+      ModelEvaluation e;
+      e.id = {t, s};
+      e.result.train_mpe = v;
+      e.result.test_mpe = v + 0.5;
+      e.result.train_nrmse = v * 2;
+      e.result.test_nrmse = v * 2 + 0.5;
+      v += 1.0;
+      suite.evaluations.push_back(e);
+    }
+  }
+  return suite;
+}
+
+TEST(Report, MetricNames) {
+  EXPECT_EQ(to_string(Metric::kMpe), "MPE");
+  EXPECT_EQ(to_string(Metric::kNrmse), "NRMSE");
+}
+
+TEST(Report, FigureSeriesHasFourLinesOfSixPoints) {
+  const auto series = build_figure_series(fake_suite(), Metric::kMpe);
+  ASSERT_EQ(series.size(), 4u);
+  for (const auto& line : series) EXPECT_EQ(line.values.size(), 6u);
+  EXPECT_EQ(series[0].label, "linear-train");
+  EXPECT_EQ(series[1].label, "linear-test");
+  EXPECT_EQ(series[2].label, "nn-train");
+  EXPECT_EQ(series[3].label, "nn-test");
+}
+
+TEST(Report, FigureSeriesPicksRequestedMetric) {
+  const auto mpe = build_figure_series(fake_suite(), Metric::kMpe);
+  const auto nrmse = build_figure_series(fake_suite(), Metric::kNrmse);
+  EXPECT_DOUBLE_EQ(mpe[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(nrmse[0].values[0], 2.0);
+}
+
+TEST(Report, RenderFigureIncludesCsvBlock) {
+  const std::string rendered =
+      render_figure("Figure 1", build_figure_series(fake_suite(),
+                                                    Metric::kMpe));
+  EXPECT_NE(rendered.find("Figure 1"), std::string::npos);
+  EXPECT_NE(rendered.find("csv,set"), std::string::npos);
+  EXPECT_NE(rendered.find("csv,A"), std::string::npos);
+  EXPECT_NE(rendered.find("csv,F"), std::string::npos);
+}
+
+TEST(Report, RenderFigureRejectsShortSeries) {
+  std::vector<FigureSeries> bad = {{"x", {1.0, 2.0}}};
+  EXPECT_THROW(render_figure("t", bad), coloc::runtime_error);
+}
+
+TEST(Report, PerAppErrorSummaries) {
+  std::vector<ml::TaggedPrediction> preds = {
+      {"appA|cg|x1|p0", 100.0, 102.0},
+      {"appA|cg|x2|p0", 100.0, 98.0},
+      {"appB|cg|x1|p0", 200.0, 210.0},
+  };
+  const auto summaries = per_app_error_summaries(preds);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries.at("appA").count, 2u);
+  EXPECT_NEAR(summaries.at("appA").median, 0.0, 1e-9);  // +2% and -2%
+  EXPECT_NEAR(summaries.at("appB").median, 5.0, 1e-9);
+}
+
+TEST(Report, PerAppErrorRejectsZeroActual) {
+  std::vector<ml::TaggedPrediction> preds = {{"a|b|x1|p0", 0.0, 1.0}};
+  EXPECT_THROW(per_app_error_summaries(preds), coloc::runtime_error);
+}
+
+TEST(Report, PerAppTimeSummariesGroupByTarget) {
+  ml::Dataset ds({"f"}, "t");
+  ds.add_row(std::vector<double>{0.0}, 10.0, "a|x|x1|p0");
+  ds.add_row(std::vector<double>{0.0}, 20.0, "a|y|x1|p0");
+  ds.add_row(std::vector<double>{0.0}, 5.0, "b|x|x1|p0");
+  const auto summaries = per_app_time_summaries(ds);
+  EXPECT_EQ(summaries.at("a").count, 2u);
+  EXPECT_DOUBLE_EQ(summaries.at("a").mean, 15.0);
+  EXPECT_DOUBLE_EQ(summaries.at("b").max, 5.0);
+}
+
+TEST(Report, Table3ListsEveryApp) {
+  sim::AppMrcLibrary library;
+  sim::Simulator simulator(tiny_machine(), &library);
+  const auto apps = tiny_suite();
+  const BaselineLibrary baselines = collect_baselines(simulator, apps);
+  const TextTable table = render_table3(apps, baselines);
+  const std::string s = table.render();
+  for (const auto& app : apps) {
+    EXPECT_NE(s.find(app.name), std::string::npos) << app.name;
+  }
+  EXPECT_NE(s.find("Class"), std::string::npos);
+}
+
+TEST(Report, Table3MissingBaselineThrows) {
+  const auto apps = tiny_suite();
+  BaselineLibrary empty;
+  EXPECT_THROW(render_table3(apps, empty), coloc::runtime_error);
+}
+
+TEST(Report, Table4ShowsMachineGeometry) {
+  const TextTable table =
+      render_table4({sim::xeon_e5649(), sim::xeon_e5_2697v2()});
+  const std::string s = table.render();
+  EXPECT_NE(s.find("Xeon E5649"), std::string::npos);
+  EXPECT_NE(s.find("12MB"), std::string::npos);
+  EXPECT_NE(s.find("30MB"), std::string::npos);
+  EXPECT_NE(s.find("1.20-2.70"), std::string::npos);
+}
+
+TEST(Report, Table5ShowsSweepParameters) {
+  CampaignConfig config = CampaignConfig::paper_defaults();
+  const TextTable table = render_table5({sim::xeon_e5649()}, config);
+  const std::string s = table.render();
+  EXPECT_NE(s.find("cg, sp, fluidanimate, ep"), std::string::npos);
+  EXPECT_NE(s.find("1-5"), std::string::npos);  // 6 cores -> 1..5
+  EXPECT_NE(s.find("11"), std::string::npos);   // target count
+}
+
+}  // namespace
+}  // namespace coloc::core

@@ -1,0 +1,201 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "test_helpers.hpp"
+
+namespace coloc::sched {
+namespace {
+
+using testing_helpers::tiny_machine;
+using testing_helpers::tiny_suite;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    library_ = new sim::AppMrcLibrary();
+    simulator_ = new sim::Simulator(tiny_machine(), library_);
+    core::CampaignConfig config;
+    config.targets = tiny_suite();
+    config.coapps = {config.targets[0], config.targets[3]};
+    campaign_ =
+        new core::CampaignResult(core::run_campaign(*simulator_, config));
+    core::ModelZooOptions zoo;
+    zoo.mlp.max_iterations = 300;
+    predictor_ = new core::ColocationPredictor(core::ColocationPredictor::train(
+        campaign_->dataset,
+        {core::ModelTechnique::kNeuralNetwork, core::FeatureSet::kF}, zoo));
+  }
+  static void TearDownTestSuite() {
+    delete predictor_;
+    delete campaign_;
+    delete simulator_;
+    delete library_;
+  }
+
+  std::vector<Job> make_jobs(std::size_t copies_per_app) const {
+    std::vector<Job> jobs;
+    for (const auto& app : tiny_suite()) {
+      for (std::size_t i = 0; i < copies_per_app; ++i) {
+        jobs.push_back(Job{app, &campaign_->baselines.at(app.name)});
+      }
+    }
+    return jobs;
+  }
+
+  static sim::AppMrcLibrary* library_;
+  static sim::Simulator* simulator_;
+  static core::CampaignResult* campaign_;
+  static core::ColocationPredictor* predictor_;
+};
+
+sim::AppMrcLibrary* SchedulerTest::library_ = nullptr;
+sim::Simulator* SchedulerTest::simulator_ = nullptr;
+core::CampaignResult* SchedulerTest::campaign_ = nullptr;
+core::ColocationPredictor* SchedulerTest::predictor_ = nullptr;
+
+TEST_F(SchedulerTest, PolicyNames) {
+  EXPECT_EQ(to_string(Policy::kPacked), "packed");
+  EXPECT_EQ(to_string(Policy::kSpread), "spread");
+  EXPECT_EQ(to_string(Policy::kInterferenceAware), "interference-aware");
+}
+
+TEST_F(SchedulerTest, PackedFillsNodesCompletely) {
+  Scheduler scheduler(tiny_machine(), nullptr);
+  const auto jobs = make_jobs(2);  // 8 jobs on 4-core nodes
+  const auto nodes = scheduler.assign(jobs, Policy::kPacked);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].job_indices.size(), 4u);
+  EXPECT_EQ(nodes[1].job_indices.size(), 4u);
+}
+
+TEST_F(SchedulerTest, SpreadBalancesLoad) {
+  Scheduler scheduler(tiny_machine(), nullptr);
+  const auto jobs = make_jobs(2);  // 8 jobs -> 2 nodes, 4 each balanced
+  const auto nodes = scheduler.assign(jobs, Policy::kSpread);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].job_indices.size(), 4u);
+  EXPECT_EQ(nodes[1].job_indices.size(), 4u);
+}
+
+TEST_F(SchedulerTest, EveryJobAssignedExactlyOnce) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  const auto jobs = make_jobs(3);  // 12 jobs
+  for (Policy policy : {Policy::kPacked, Policy::kSpread,
+                        Policy::kInterferenceAware}) {
+    const auto nodes = scheduler.assign(jobs, policy);
+    std::vector<int> seen(jobs.size(), 0);
+    for (const auto& node : nodes) {
+      EXPECT_LE(node.job_indices.size(), tiny_machine().cores);
+      for (auto j : node.job_indices) ++seen[j];
+    }
+    for (int s : seen) EXPECT_EQ(s, 1) << to_string(policy);
+  }
+}
+
+TEST_F(SchedulerTest, InterferenceAwareRespectsQosBound) {
+  SchedulerConfig config;
+  config.max_slowdown = 1.05;  // tight bound
+  Scheduler scheduler(tiny_machine(), predictor_, config);
+  const auto jobs = make_jobs(2);
+  const auto nodes = scheduler.assign(jobs, Policy::kInterferenceAware);
+  // Verify the predictor agrees the bound holds for every placement.
+  for (const auto& node : nodes) {
+    for (std::size_t pos = 0; pos < node.job_indices.size(); ++pos) {
+      std::vector<const core::BaselineProfile*> coapps;
+      for (std::size_t i = 0; i < node.job_indices.size(); ++i) {
+        if (i != pos) coapps.push_back(jobs[node.job_indices[i]].baseline);
+      }
+      if (coapps.empty()) continue;
+      EXPECT_LE(predictor_->predict_slowdown(
+                    *jobs[node.job_indices[pos]].baseline, coapps, 0),
+                config.max_slowdown + 1e-9);
+    }
+  }
+}
+
+TEST_F(SchedulerTest, InterferenceAwareUsesAtMostPackedNodesPlusSlack) {
+  Scheduler scheduler(tiny_machine(), predictor_,
+                      {.max_slowdown = 1.5, .max_nodes = 64});
+  const auto jobs = make_jobs(2);
+  const auto aware = scheduler.assign(jobs, Policy::kInterferenceAware);
+  // With a loose bound it should consolidate well (not one job per node).
+  EXPECT_LE(aware.size(), 4u);
+}
+
+TEST_F(SchedulerTest, EvaluateReportsConsistentOutcome) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  const auto jobs = make_jobs(1);  // 4 jobs fit one node
+  const ScheduleOutcome outcome =
+      scheduler.evaluate(jobs, Policy::kPacked, *simulator_);
+  EXPECT_EQ(outcome.policy, Policy::kPacked);
+  EXPECT_EQ(outcome.nodes_used, 1u);
+  EXPECT_GE(outcome.actual_mean_slowdown, 1.0);
+  EXPECT_GE(outcome.max_actual_slowdown, outcome.actual_mean_slowdown);
+  EXPECT_GT(outcome.total_energy_j, 0.0);
+  EXPECT_GT(outcome.makespan_s, 0.0);
+  EXPECT_GT(outcome.predicted_mean_slowdown, 0.9);
+}
+
+TEST_F(SchedulerTest, SpreadHasLowerSlowdownThanPacked) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  const auto jobs = make_jobs(2);
+  const ScheduleOutcome packed =
+      scheduler.evaluate(jobs, Policy::kPacked, *simulator_);
+  const ScheduleOutcome spread =
+      scheduler.evaluate(jobs, Policy::kSpread, *simulator_);
+  EXPECT_LE(spread.actual_mean_slowdown,
+            packed.actual_mean_slowdown + 1e-9);
+}
+
+TEST_F(SchedulerTest, PredictionTracksActualSlowdown) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  const auto jobs = make_jobs(2);
+  const ScheduleOutcome outcome =
+      scheduler.evaluate(jobs, Policy::kPacked, *simulator_);
+  EXPECT_NEAR(outcome.predicted_mean_slowdown, outcome.actual_mean_slowdown,
+              0.25 * outcome.actual_mean_slowdown);
+}
+
+TEST_F(SchedulerTest, InterferenceAwareWithoutPredictorThrows) {
+  Scheduler scheduler(tiny_machine(), nullptr);
+  const auto jobs = make_jobs(1);
+  EXPECT_THROW(scheduler.assign(jobs, Policy::kInterferenceAware),
+               coloc::runtime_error);
+}
+
+TEST_F(SchedulerTest, MissingBaselineThrows) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  std::vector<Job> jobs = {Job{tiny_suite()[0], nullptr}};
+  EXPECT_THROW(scheduler.assign(jobs, Policy::kPacked),
+               coloc::runtime_error);
+}
+
+TEST_F(SchedulerTest, NodeBudgetEnforced) {
+  Scheduler scheduler(tiny_machine(), predictor_,
+                      {.max_slowdown = 1.25, .max_nodes = 1});
+  const auto jobs = make_jobs(2);  // needs 2 nodes
+  EXPECT_THROW(scheduler.assign(jobs, Policy::kPacked),
+               coloc::runtime_error);
+}
+
+TEST_F(SchedulerTest, InvalidConfigRejected) {
+  EXPECT_THROW(Scheduler(tiny_machine(), predictor_, {.max_slowdown = 0.5}),
+               coloc::runtime_error);
+  EXPECT_THROW(Scheduler(tiny_machine(), predictor_,
+                         {.max_slowdown = 1.2, .max_nodes = 4,
+                          .pstate_index = 99}),
+               coloc::runtime_error);
+}
+
+TEST_F(SchedulerTest, EmptyJobListYieldsEmptyOutcome) {
+  Scheduler scheduler(tiny_machine(), predictor_);
+  const ScheduleOutcome outcome =
+      scheduler.evaluate({}, Policy::kPacked, *simulator_);
+  EXPECT_EQ(outcome.nodes_used, 0u);
+  EXPECT_EQ(outcome.total_energy_j, 0.0);
+}
+
+}  // namespace
+}  // namespace coloc::sched

@@ -1,0 +1,122 @@
+#include "ml/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/mlp.hpp"
+
+namespace coloc::ml {
+namespace {
+
+LinearModel trained_linear(coloc::Rng& rng) {
+  linalg::Matrix x(50, 3);
+  std::vector<double> y(50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) x(i, c) = rng.normal();
+    y[i] = 7.0 + 2.0 * x(i, 0) - x(i, 1) + 0.5 * x(i, 2);
+  }
+  return LinearModel::fit(x, y);
+}
+
+MlpRegressor trained_mlp(coloc::Rng& rng) {
+  linalg::Matrix x(80, 2);
+  std::vector<double> y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = rng.uniform(-1, 1);
+    x(i, 1) = rng.uniform(-1, 1);
+    y[i] = 3.0 + x(i, 0) * x(i, 1);
+  }
+  return MlpRegressor::fit(x, y, {.hidden_units = 6, .max_iterations = 300});
+}
+
+TEST(Serialization, LinearRoundTripIsExact) {
+  coloc::Rng rng(1);
+  const LinearModel original = trained_linear(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const RegressorPtr loaded = load_model(ss);
+  ASSERT_NE(loaded, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> probe = {rng.normal(), rng.normal(),
+                                       rng.normal()};
+    EXPECT_DOUBLE_EQ(loaded->predict(probe), original.predict(probe));
+  }
+}
+
+TEST(Serialization, MlpRoundTripIsExact) {
+  coloc::Rng rng(2);
+  const MlpRegressor original = trained_mlp(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const RegressorPtr loaded = load_model(ss);
+  ASSERT_NE(loaded, nullptr);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<double> probe = {rng.uniform(-1, 1),
+                                       rng.uniform(-1, 1)};
+    EXPECT_DOUBLE_EQ(loaded->predict(probe), original.predict(probe));
+  }
+}
+
+TEST(Serialization, LoadedMlpKeepsTopologyDescription) {
+  coloc::Rng rng(3);
+  const MlpRegressor original = trained_mlp(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const RegressorPtr loaded = load_model(ss);
+  EXPECT_NE(loaded->describe().find("hidden=6"), std::string::npos);
+}
+
+TEST(Serialization, KnnIsRejected) {
+  linalg::Matrix x{{0.0}, {1.0}};
+  const std::vector<double> y = {1.0, 2.0};
+  const KnnRegressor knn = KnnRegressor::fit(x, y);
+  std::stringstream ss;
+  EXPECT_THROW(save_model(ss, knn), invalid_argument_error);
+}
+
+TEST(Serialization, BadHeaderRejected) {
+  std::stringstream ss;
+  ss << "definitely not a model\n";
+  EXPECT_THROW(load_model(ss), coloc::runtime_error);
+}
+
+TEST(Serialization, UnknownTypeRejected) {
+  std::stringstream ss;
+  ss << "coloc-model v1\ntype forest\nend\n";
+  EXPECT_THROW(load_model(ss), invalid_argument_error);
+}
+
+TEST(Serialization, TruncatedStreamRejected) {
+  coloc::Rng rng(4);
+  const LinearModel original = trained_linear(rng);
+  std::stringstream ss;
+  save_model(ss, original);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_model(truncated), coloc::runtime_error);
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/coloc_model_test.txt";
+  coloc::Rng rng(5);
+  const LinearModel original = trained_linear(rng);
+  save_model_file(path, original);
+  const RegressorPtr loaded = load_model_file(path);
+  EXPECT_DOUBLE_EQ(loaded->predict(std::vector<double>{1.0, 2.0, 3.0}),
+                   original.predict(std::vector<double>{1.0, 2.0, 3.0}));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileThrows) {
+  EXPECT_THROW(load_model_file("/nonexistent/model.txt"),
+               coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::ml

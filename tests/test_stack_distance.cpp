@@ -1,0 +1,168 @@
+#include "sim/stack_distance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/cache.hpp"
+#include "sim/trace.hpp"
+
+namespace coloc::sim {
+namespace {
+
+TEST(Fenwick, PrefixSums) {
+  FenwickTree t(8);
+  t.add(0, 1);
+  t.add(3, 2);
+  t.add(7, 5);
+  EXPECT_EQ(t.prefix_sum(0), 1);
+  EXPECT_EQ(t.prefix_sum(2), 1);
+  EXPECT_EQ(t.prefix_sum(3), 3);
+  EXPECT_EQ(t.prefix_sum(7), 8);
+}
+
+TEST(Fenwick, RangeSums) {
+  FenwickTree t(10);
+  for (std::size_t i = 0; i < 10; ++i) t.add(i, 1);
+  EXPECT_EQ(t.range_sum(0, 9), 10);
+  EXPECT_EQ(t.range_sum(3, 5), 3);
+  EXPECT_EQ(t.range_sum(7, 7), 1);
+}
+
+TEST(Fenwick, NegativeUpdates) {
+  FenwickTree t(4);
+  t.add(1, 5);
+  t.add(1, -3);
+  EXPECT_EQ(t.prefix_sum(3), 2);
+}
+
+TEST(Fenwick, OutOfRangeThrows) {
+  FenwickTree t(4);
+  EXPECT_THROW(t.add(4, 1), coloc::runtime_error);
+  EXPECT_THROW(t.range_sum(2, 1), coloc::runtime_error);
+}
+
+TEST(StackDistance, ColdMissesMarked) {
+  StackDistanceProfiler p(10);
+  EXPECT_EQ(p.record(100), kColdMiss);
+  EXPECT_EQ(p.record(200), kColdMiss);
+  EXPECT_EQ(p.cold_misses(), 2u);
+}
+
+TEST(StackDistance, ImmediateReuseIsZero) {
+  StackDistanceProfiler p(10);
+  p.record(1);
+  EXPECT_EQ(p.record(1), 0u);
+}
+
+TEST(StackDistance, CountsDistinctIntermediates) {
+  StackDistanceProfiler p(10);
+  // a b c b a: distance(a at end) = 2 distinct (b, c).
+  p.record('a');
+  p.record('b');
+  p.record('c');
+  EXPECT_EQ(p.record('b'), 1u);  // distinct between: {c}
+  EXPECT_EQ(p.record('a'), 2u);  // distinct between: {b, c}
+}
+
+TEST(StackDistance, RepeatedLinesCountOnce) {
+  StackDistanceProfiler p(10);
+  // a b b b a: only one distinct line between the two a's.
+  p.record('a');
+  p.record('b');
+  p.record('b');
+  p.record('b');
+  EXPECT_EQ(p.record('a'), 1u);
+}
+
+TEST(StackDistance, MatchesBruteForceOnRandomTrace) {
+  coloc::Rng rng(3);
+  std::vector<LineAddress> trace;
+  for (int i = 0; i < 400; ++i) trace.push_back(rng.uniform_index(40));
+  const auto expected = brute_force_stack_distances(trace);
+  StackDistanceProfiler p(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(p.record(trace[i]), expected[i]) << "at index " << i;
+  }
+}
+
+TEST(StackDistance, MatchesBruteForceOnSkewedTrace) {
+  coloc::Rng rng(4);
+  std::vector<LineAddress> trace;
+  for (int i = 0; i < 300; ++i) trace.push_back(rng.zipf(64, 1.0));
+  const auto expected = brute_force_stack_distances(trace);
+  StackDistanceProfiler p(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(p.record(trace[i]), expected[i]);
+  }
+}
+
+TEST(StackDistance, HistogramAccumulates) {
+  StackDistanceProfiler p(10);
+  p.record(1);
+  p.record(1);  // distance 0
+  p.record(2);
+  p.record(1);  // distance 1
+  const auto& h = p.histogram();
+  ASSERT_GE(h.size(), 2u);
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 1u);
+}
+
+TEST(StackDistance, CapacityExceededThrows) {
+  StackDistanceProfiler p(2);
+  p.record(1);
+  p.record(2);
+  EXPECT_THROW(p.record(3), coloc::runtime_error);
+}
+
+TEST(StackDistance, MaxTrackedPoolsTail) {
+  StackDistanceProfiler p(100);
+  p.set_max_tracked_distance(2);
+  // Create a reuse with distance 3: a x y z a.
+  p.record('a');
+  p.record('x');
+  p.record('y');
+  p.record('z');
+  p.record('a');
+  EXPECT_EQ(p.beyond_tracked(), 1u);
+}
+
+// The fundamental Mattson property: for a fully-associative LRU cache of
+// capacity C, an access hits iff its stack distance < C. Sweep capacities
+// as a parameterized property test against the real cache model.
+class MattsonProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MattsonProperty, LruCacheAgreesWithStackDistances) {
+  const std::size_t capacity = GetParam();
+  coloc::Rng rng(7 + capacity);
+  TraceSpec spec;
+  spec.name = "mixed";
+  Phase phase;
+  phase.working_set_lines = 256;
+  phase.mix = {.streaming = 0.3, .strided = 0.2, .hot_cold = 0.4,
+               .pointer = 0.1};
+  spec.phases = {phase};
+  TraceGenerator gen(spec, 11);
+  const auto trace = gen.generate(6000);
+
+  CacheConfig config;
+  config.line_bytes = 64;
+  config.size_bytes = capacity * 64;
+  config.associativity = capacity;  // fully associative
+  Cache cache(config);
+  StackDistanceProfiler profiler(trace.size());
+
+  for (const LineAddress a : trace) {
+    const bool hit = cache.access(a);
+    const std::uint64_t d = profiler.record(a);
+    const bool predicted_hit = d != kColdMiss && d < capacity;
+    EXPECT_EQ(hit, predicted_hit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, MattsonProperty,
+                         ::testing::Values(4, 16, 64, 128, 300));
+
+}  // namespace
+}  // namespace coloc::sim

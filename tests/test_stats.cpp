@@ -1,0 +1,177 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace coloc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.mean(), 42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 42.0);
+  EXPECT_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesClosedForm) {
+  RunningStats rs;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, StddevNeedsTwo) {
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW(min_of({}), coloc::runtime_error);
+  EXPECT_THROW(max_of({}), coloc::runtime_error);
+}
+
+TEST(Quantile, MedianOfOddCount) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Quantile, EndpointsAreMinMax) {
+  const std::vector<double> xs = {4.0, -1.0, 8.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 8.0);
+}
+
+TEST(Quantile, RejectsOutOfRangeQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(quantile(xs, -0.1), coloc::runtime_error);
+  EXPECT_THROW(quantile(xs, 1.1), coloc::runtime_error);
+}
+
+TEST(Summary, FieldsConsistent) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 9u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q25, 3.0);
+  EXPECT_DOUBLE_EQ(s.q75, 7.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_FALSE(s.to_string().empty());
+}
+
+TEST(Correlation, PerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(correlation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {8, 6, 4, 2};
+  EXPECT_NEAR(correlation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesGivesZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {5, 5, 5};
+  EXPECT_EQ(correlation(xs, ys), 0.0);
+}
+
+TEST(Correlation, LengthMismatchThrows) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW(correlation(xs, ys), coloc::runtime_error);
+}
+
+TEST(HistogramTest, CountsLandInBuckets) {
+  const std::vector<double> xs = {0.1, 0.1, 0.5, 0.9};
+  const Histogram h = Histogram::build(xs, 0.0, 1.0, 10);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.counts[5], 1u);
+  EXPECT_EQ(h.counts[9], 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsToEdges) {
+  const std::vector<double> xs = {-5.0, 5.0};
+  const Histogram h = Histogram::build(xs, 0.0, 1.0, 4);
+  EXPECT_EQ(h.counts.front(), 1u);
+  EXPECT_EQ(h.counts.back(), 1u);
+}
+
+TEST(HistogramTest, RendersBars) {
+  const std::vector<double> xs = {0.5};
+  const Histogram h = Histogram::build(xs, 0.0, 1.0, 2);
+  EXPECT_NE(h.render().find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RejectsBadConfig) {
+  const std::vector<double> xs = {0.5};
+  EXPECT_THROW(Histogram::build(xs, 0.0, 1.0, 0), coloc::runtime_error);
+  EXPECT_THROW(Histogram::build(xs, 1.0, 1.0, 4), coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc

@@ -1,0 +1,132 @@
+#include "linalg/svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "linalg/qr.hpp"
+
+namespace coloc::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, coloc::Rng& rng) {
+  Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r)
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.normal();
+  return a;
+}
+
+Matrix reconstruct(const SvdResult& d) {
+  Matrix us = d.u;
+  for (std::size_t c = 0; c < d.singular_values.size(); ++c)
+    for (std::size_t r = 0; r < us.rows(); ++r)
+      us(r, c) *= d.singular_values[c];
+  return matmul(us, d.v.transposed());
+}
+
+TEST(Svd, ReconstructsRandomMatrix) {
+  coloc::Rng rng(1);
+  const Matrix a = random_matrix(20, 5, rng);
+  const SvdResult d = svd(a);
+  EXPECT_NEAR(frobenius_distance(reconstruct(d), a), 0.0, 1e-9);
+}
+
+TEST(Svd, FactorsAreOrthonormal) {
+  coloc::Rng rng(2);
+  const Matrix a = random_matrix(15, 4, rng);
+  const SvdResult d = svd(a);
+  EXPECT_NEAR(frobenius_distance(matmul(d.u.transposed(), d.u),
+                                 Matrix::identity(4)),
+              0.0, 1e-9);
+  EXPECT_NEAR(frobenius_distance(matmul(d.v.transposed(), d.v),
+                                 Matrix::identity(4)),
+              0.0, 1e-9);
+}
+
+TEST(Svd, SingularValuesSortedNonnegative) {
+  coloc::Rng rng(3);
+  const SvdResult d = svd(random_matrix(12, 6, rng));
+  for (std::size_t i = 0; i < d.singular_values.size(); ++i) {
+    EXPECT_GE(d.singular_values[i], 0.0);
+    if (i) EXPECT_LE(d.singular_values[i], d.singular_values[i - 1]);
+  }
+}
+
+TEST(Svd, KnownDiagonalCase) {
+  const Matrix a{{3, 0}, {0, 4}, {0, 0}};
+  const SvdResult d = svd(a);
+  EXPECT_NEAR(d.singular_values[0], 4.0, 1e-12);
+  EXPECT_NEAR(d.singular_values[1], 3.0, 1e-12);
+}
+
+TEST(Svd, DetectsRankDeficiency) {
+  coloc::Rng rng(4);
+  Matrix a(10, 3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    a(i, 0) = rng.normal();
+    a(i, 1) = rng.normal();
+    a(i, 2) = 2.0 * a(i, 0) - a(i, 1);  // dependent column
+  }
+  const SvdResult d = svd(a);
+  EXPECT_EQ(d.rank(1e-10), 2u);
+}
+
+TEST(Svd, SingularValuesMatchEigenvaluesOfGram) {
+  // s_i^2 are the eigenvalues of A^T A; cross-check against trace.
+  coloc::Rng rng(5);
+  const Matrix a = random_matrix(30, 4, rng);
+  const SvdResult d = svd(a);
+  double sum_s2 = 0.0;
+  for (double s : d.singular_values) sum_s2 += s * s;
+  double frob2 = 0.0;
+  for (double v : a.data()) frob2 += v * v;
+  EXPECT_NEAR(sum_s2, frob2, 1e-8 * frob2);
+}
+
+TEST(SvdLeastSquares, MatchesQrOnFullRank) {
+  coloc::Rng rng(6);
+  const Matrix a = random_matrix(40, 5, rng);
+  std::vector<double> b(40);
+  for (auto& v : b) v = rng.normal();
+  const Vector x_qr = least_squares(a, b);
+  const Vector x_svd = svd_least_squares(a, b);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(x_qr[i], x_svd[i], 1e-8);
+}
+
+TEST(SvdLeastSquares, HandlesRankDeficiencyWithMinimumNorm) {
+  // Collinear columns: QR throws; SVD returns the minimum-norm solution,
+  // which splits the weight evenly between identical columns.
+  Matrix a(6, 2);
+  std::vector<double> b(6);
+  coloc::Rng rng(7);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const double t = rng.normal();
+    a(i, 0) = t;
+    a(i, 1) = t;  // identical column
+    b[i] = 3.0 * t;
+  }
+  const Vector x = svd_least_squares(a, b);
+  EXPECT_NEAR(x[0], 1.5, 1e-8);
+  EXPECT_NEAR(x[1], 1.5, 1e-8);
+}
+
+TEST(SvdLeastSquares, ResidualOrthogonalToColumns) {
+  coloc::Rng rng(8);
+  const Matrix a = random_matrix(25, 3, rng);
+  std::vector<double> b(25);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = svd_least_squares(a, b);
+  Vector residual = matvec(a, x);
+  for (std::size_t i = 0; i < b.size(); ++i) residual[i] -= b[i];
+  const Vector at_r = matvec_transposed(a, residual);
+  for (double v : at_r) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(Svd, RejectsWideMatrix) {
+  Matrix a(2, 3);
+  EXPECT_THROW(svd(a), coloc::runtime_error);
+}
+
+}  // namespace
+}  // namespace coloc::linalg

@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace coloc {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t("My Table");
+  t.set_columns({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.set_columns({"l", "r"}, {Align::kLeft, Align::kRight});
+  t.add_row({"x", "1"});
+  t.add_row({"long", "1000"});
+  const std::string s = t.render();
+  // The right-aligned short value must be preceded by padding.
+  EXPECT_NE(s.find("   1\n"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_columns({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), coloc::runtime_error);
+}
+
+TEST(TextTableTest, ColumnsAfterRowsThrows) {
+  TextTable t;
+  t.set_columns({"a"});
+  t.add_row({"1"});
+  EXPECT_THROW(t.set_columns({"b"}), coloc::runtime_error);
+}
+
+TEST(TextTableTest, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::size_t{42}), "42");
+  EXPECT_EQ(TextTable::num(1.0, 0), "1");
+}
+
+TEST(RenderSeries, FormatsLabelAndValues) {
+  const std::string s = render_series("test", {1.0, 2.5}, 1);
+  EXPECT_EQ(s, "test: 1.0 2.5");
+}
+
+TEST(RenderSeries, EmptyValuesStillLabeled) {
+  EXPECT_EQ(render_series("x", {}), "x:");
+}
+
+}  // namespace
+}  // namespace coloc

@@ -1,0 +1,105 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace coloc::sim {
+namespace {
+
+TEST(ZigZag, RoundTripsSignedValues) {
+  for (std::int64_t v : {0ll, 1ll, -1ll, 2ll, -2ll, 1000000ll, -1000000ll,
+                         (1ll << 62), -(1ll << 62)}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(ZigZag, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(TraceIo, RoundTripsEmptyTrace) {
+  std::stringstream ss;
+  write_trace(ss, {});
+  EXPECT_TRUE(read_trace(ss).empty());
+}
+
+TEST(TraceIo, RoundTripsSequentialTrace) {
+  std::vector<LineAddress> trace;
+  for (LineAddress a = 100; a < 1100; ++a) trace.push_back(a);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  EXPECT_EQ(read_trace(ss), trace);
+}
+
+TEST(TraceIo, RoundTripsRandomTrace) {
+  coloc::Rng rng(1);
+  std::vector<LineAddress> trace;
+  for (int i = 0; i < 5000; ++i)
+    trace.push_back(rng.uniform_index(1ULL << 40));
+  std::stringstream ss;
+  write_trace(ss, trace);
+  EXPECT_EQ(read_trace(ss), trace);
+}
+
+TEST(TraceIo, SequentialTraceCompressesWell) {
+  std::vector<LineAddress> trace;
+  for (LineAddress a = 0; a < 10000; ++a) trace.push_back(a);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  // Stride-1 deltas encode in one byte each; raw would be 80000 bytes.
+  EXPECT_LT(ss.str().size(), 11000u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "NOPE immediately invalid";
+  EXPECT_THROW(read_trace(ss), coloc::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncatedStream) {
+  std::vector<LineAddress> trace = {1, 2, 3, 4, 5};
+  std::stringstream ss;
+  write_trace(ss, trace);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 2));
+  EXPECT_THROW(read_trace(truncated), coloc::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/coloc_trace_test.bin";
+  coloc::Rng rng(2);
+  std::vector<LineAddress> trace;
+  for (int i = 0; i < 1000; ++i) trace.push_back(rng.zipf(4096, 0.9));
+  save_trace(path, trace);
+  EXPECT_EQ(load_trace(path), trace);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_trace("/nonexistent/trace.bin"), coloc::runtime_error);
+}
+
+TEST(TraceIo, GeneratedTraceSurvivesRoundTrip) {
+  TraceSpec spec;
+  spec.name = "io";
+  Phase p;
+  p.working_set_lines = 2048;
+  p.mix = {.streaming = 0.5, .hot_cold = 0.5};
+  spec.phases = {p};
+  TraceGenerator gen(spec, 3);
+  const auto trace = gen.generate(20000);
+  std::stringstream ss;
+  write_trace(ss, trace);
+  EXPECT_EQ(read_trace(ss), trace);
+}
+
+}  // namespace
+}  // namespace coloc::sim
