@@ -168,6 +168,7 @@ void sampling_ablation(const bench::HarnessConfig& config,
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
 
   contention_ablation(config);
 

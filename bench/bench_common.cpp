@@ -15,11 +15,28 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
   config.quick = args.get_bool("quick", false);
+  config.metrics_out = args.get("metrics-out", "");
+  config.trace_out = args.get("trace-out", "");
+  if (!args.program().empty()) {
+    const std::string& program = args.program();
+    const auto slash = program.find_last_of('/');
+    config.program =
+        slash == std::string::npos ? program : program.substr(slash + 1);
+  }
   if (config.quick) {
     config.partitions = std::min<std::size_t>(config.partitions, 3);
     config.nn_iterations = std::min<std::size_t>(config.nn_iterations, 200);
   }
   return config;
+}
+
+obs::ObsOptions HarnessConfig::run_session() const {
+  obs::ObsOptions options;
+  options.metrics_out = metrics_out;
+  options.trace_out = trace_out;
+  options.report_resources = true;
+  options.label = program;
+  return options;
 }
 
 core::EvaluationConfig HarnessConfig::evaluation() const {

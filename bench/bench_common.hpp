@@ -1,9 +1,15 @@
 // Shared plumbing for the experiment harnesses: every bench binary
 // regenerates one table or figure of the paper. Common CLI flags:
-//   --partitions=N   validation partitions (default 10; paper uses 100)
-//   --nn-iters=N     SCG iterations per network (default 1500)
-//   --seed=N         master seed for the simulated testbed noise
-//   --quick          tiny configuration for smoke runs
+//   --partitions=N      validation partitions (default 10; paper uses 100)
+//   --nn-iters=N        SCG iterations per network (default 1500)
+//   --seed=N            master seed for the simulated testbed noise
+//   --quick             tiny configuration for smoke runs
+//   --metrics-out=FILE  write a metrics snapshot at exit (.json or text)
+//   --trace-out=FILE    write a chrome://tracing span file (+ CSV twin)
+//
+// Every bench main holds one obs::ObsSession built from run_session();
+// besides honoring the flags above it prints a machine-readable
+// "total_wall_time_s=... peak_rss_mb=..." cost line when the run ends.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include "common/cli.hpp"
 #include "core/methodology.hpp"
 #include "core/report.hpp"
+#include "obs/session.hpp"
 #include "sim/execution.hpp"
 
 namespace coloc::bench {
@@ -21,10 +28,16 @@ struct HarnessConfig {
   std::size_t nn_iterations = 1500;
   std::uint64_t seed = 99;
   bool quick = false;
+  std::string metrics_out;  // --metrics-out
+  std::string trace_out;    // --trace-out
+  std::string program = "bench";
 
   static HarnessConfig from_cli(const CliArgs& args);
 
   core::EvaluationConfig evaluation() const;
+
+  /// Observability options for this run (pass to obs::ObsSession).
+  obs::ObsOptions run_session() const;
 };
 
 /// One machine's full pipeline: MRC profiling, Table V campaign, and the

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hpp"
+#include "obs/session.hpp"
 #include "linalg/qr.hpp"
 #include "ml/mlp.hpp"
 #include "sim/cache.hpp"
@@ -132,4 +133,17 @@ BENCHMARK(BM_MlpGradient);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run also emits the standard cost line
+// (total wall time + peak RSS) that BENCH_* trajectories track.
+int main(int argc, char** argv) {
+  obs::ObsOptions obs_options;
+  obs_options.report_resources = true;
+  obs_options.label = "bench_components";
+  const obs::ObsSession session(obs_options);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

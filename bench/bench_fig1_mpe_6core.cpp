@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace coloc;
   const CliArgs args(argc, argv);
   const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
   bench::MachineExperiment experiment(sim::xeon_e5649(), config);
   experiment.print_figure(
       "Figure 1: MPE vs feature set, 6-core Xeon E5649", core::Metric::kMpe);

@@ -6,6 +6,7 @@ int main(int argc, char** argv) {
   using namespace coloc;
   const CliArgs args(argc, argv);
   const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
   bench::MachineExperiment experiment(sim::xeon_e5_2697v2(), config);
   experiment.print_figure(
       "Figure 4: NRMSE vs feature set, 12-core Xeon E5-2697 v2",

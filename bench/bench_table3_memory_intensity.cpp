@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace coloc;
   const CliArgs args(argc, argv);
   const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
 
   const auto apps = sim::benchmark_suite();
   sim::AppMrcLibrary library;

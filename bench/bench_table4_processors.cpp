@@ -4,13 +4,17 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/report.hpp"
 #include "sim/machine.hpp"
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   using namespace coloc;
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
   const std::vector<sim::MachineConfig> machines = {sim::xeon_e5649(),
                                                     sim::xeon_e5_2697v2()};
   core::render_table4(machines).print(std::cout);

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace coloc;
   const CliArgs args(argc, argv);
   const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
 
   const std::vector<sim::MachineConfig> machines = {sim::xeon_e5649(),
                                                     sim::xeon_e5_2697v2()};

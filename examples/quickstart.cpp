@@ -1,18 +1,32 @@
-// Quickstart: the whole methodology in ~60 lines.
+// Quickstart: the whole methodology in ~80 lines.
 //
 //   1. Describe a machine and a pair of applications.
 //   2. Profile each application ONCE, alone (baseline times + counters).
 //   3. Collect a small training campaign and train a predictor.
-//   4. Ask: "how much slower will `canneal` run next to four copies of
+//   4. Validate the model with the paper's repeated-subsampling protocol.
+//   5. Ask: "how much slower will `canneal` run next to four copies of
 //      `cg` at the highest P-state?" — and check against the simulator.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Observability flags (see the Observability section in README.md):
+//   --metrics-out m.json   dump the metrics registry at exit
+//   --trace-out t.json     dump spans for chrome://tracing (+ t.csv)
 #include <cstdio>
 
+#include "common/cli.hpp"
 #include "core/methodology.hpp"
+#include "obs/session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace coloc;
+
+  const CliArgs args(argc, argv);
+  obs::ObsOptions obs_options;
+  obs_options.metrics_out = args.get("metrics-out", "");
+  obs_options.trace_out = args.get("trace-out", "");
+  obs_options.label = "quickstart";
+  const obs::ObsSession session(obs_options);
 
   // 1. The machine: the paper's 6-core Xeon E5649 preset.
   const sim::MachineConfig machine = sim::xeon_e5649();
@@ -35,13 +49,24 @@ int main() {
 
   core::ModelZooOptions zoo;
   zoo.mlp.max_iterations = 1200;
+  const core::ModelId model_id{core::ModelTechnique::kNeuralNetwork,
+                               core::FeatureSet::kF};
   const core::ColocationPredictor predictor =
-      core::ColocationPredictor::train(
-          campaign.dataset,
-          {core::ModelTechnique::kNeuralNetwork, core::FeatureSet::kF},
-          zoo);
+      core::ColocationPredictor::train(campaign.dataset, model_id, zoo);
 
-  // 4. Predict, then validate against a fresh simulated measurement.
+  // 4. Validate with the paper's protocol (a light 10-partition version;
+  //    the full experiments use --partitions=100).
+  ml::ValidationOptions validation;
+  validation.partitions =
+      static_cast<std::size_t>(args.get_int("partitions", 10));
+  const ml::ValidationResult validated = ml::repeated_subsampling_validation(
+      campaign.dataset,
+      core::feature_set_columns(model_id.feature_set),
+      core::make_model_factory(model_id, zoo), validation);
+  std::printf("  validation (%zu partitions): test MPE %.2f%%\n",
+              validated.partitions, validated.test_mpe);
+
+  // 5. Predict, then validate against a fresh simulated measurement.
   const core::BaselineProfile& target = campaign.baselines.at("canneal");
   const core::BaselineProfile& co = campaign.baselines.at("cg");
   const std::vector<const core::BaselineProfile*> four_cg(4, &co);

@@ -1,15 +1,21 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <mutex>
+
+#include "obs/trace.hpp"
 
 namespace coloc {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_mutex;
+std::once_flag g_env_once;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,27 +26,71 @@ const char* level_name(LogLevel level) {
   }
   return "?????";
 }
+
+// Honors COLOC_LOG_LEVEL=debug|info|warn|error (case-insensitive) once,
+// on the first logging call. set_log_level() still overrides afterwards.
+void init_level_from_env() {
+  const char* env = std::getenv("COLOC_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return;
+  std::string name;
+  for (const char* p = env; *p != '\0'; ++p) {
+    name.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (name == "debug") {
+    g_level.store(static_cast<int>(LogLevel::kDebug),
+                  std::memory_order_relaxed);
+  } else if (name == "info") {
+    g_level.store(static_cast<int>(LogLevel::kInfo),
+                  std::memory_order_relaxed);
+  } else if (name == "warn" || name == "warning") {
+    g_level.store(static_cast<int>(LogLevel::kWarn),
+                  std::memory_order_relaxed);
+  } else if (name == "error") {
+    g_level.store(static_cast<int>(LogLevel::kError),
+                  std::memory_order_relaxed);
+  } else {
+    std::fprintf(stderr, "coloc: ignoring unknown COLOC_LOG_LEVEL \"%s\"\n",
+                 env);
+  }
+}
+
+// "2026-08-06T12:34:56.789Z" (UTC). `out` must hold >= 32 bytes.
+void format_timestamp(char* out, std::size_t out_size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm_utc{};
+  gmtime_r(&seconds, &tm_utc);
+  char date[24];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &tm_utc);
+  std::snprintf(out, out_size, "%s.%03dZ", date, static_cast<int>(ms));
+}
 }  // namespace
 
 void set_log_level(LogLevel level) {
+  std::call_once(g_env_once, init_level_from_env);
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel log_level() {
+  std::call_once(g_env_once, init_level_from_env);
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void log_message(LogLevel level, const std::string& msg) {
+  std::call_once(g_env_once, init_level_from_env);
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed))
     return;
-  const auto now = std::chrono::system_clock::now().time_since_epoch();
-  const auto ms =
-      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  char timestamp[32];
+  format_timestamp(timestamp, sizeof(timestamp));
+  const unsigned tid = obs::thread_index();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%lld.%03lld] %s %s\n",
-               static_cast<long long>(ms / 1000),
-               static_cast<long long>(ms % 1000), level_name(level),
-               msg.c_str());
+  std::fprintf(stderr, "%s [T%02u] %s %s\n", timestamp, tid,
+               level_name(level), msg.c_str());
 }
 
 }  // namespace coloc

@@ -5,8 +5,34 @@
 #include <exception>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace coloc {
+
+namespace {
+// Shared across all pools: one process-wide view of scheduling pressure.
+struct PoolMetrics {
+  obs::Gauge& queue_depth;
+  obs::Histogram& wait_seconds;
+  obs::Histogram& run_seconds;
+  obs::Counter& tasks;
+
+  static PoolMetrics& get() {
+    static PoolMetrics metrics{
+        obs::Registry::global().gauge("threadpool_queue_depth"),
+        obs::Registry::global().histogram("threadpool_task_wait_seconds"),
+        obs::Registry::global().histogram("threadpool_task_run_seconds"),
+        obs::Registry::global().counter("threadpool_tasks_total"),
+    };
+    return metrics;
+  }
+};
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -18,26 +44,51 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;
     stopping_ = true;
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    COLOC_CHECK_MSG(!stopping_,
+                    "ThreadPool::submit called after shutdown; the task "
+                    "would never run");
+    queue_.push(Task{std::move(fn), std::chrono::steady_clock::now()});
+    depth = queue_.size();
+  }
+  PoolMetrics::get().queue_depth.set(static_cast<double>(depth));
+  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
+      if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      metrics.queue_depth.set(static_cast<double>(queue_.size()));
     }
-    task();
+    const auto started = std::chrono::steady_clock::now();
+    metrics.wait_seconds.observe(seconds_between(task.enqueued, started));
+    task.fn();
+    metrics.run_seconds.observe(
+        seconds_between(started, std::chrono::steady_clock::now()));
+    metrics.tasks.inc();
   }
 }
 

@@ -2,8 +2,12 @@
 //
 // The bootstrap validation harness trains 100 model partitions per feature
 // set; these are embarrassingly parallel and scheduled through this pool.
+//
+// Instrumentation (see src/obs/): the pool maintains a queue-depth gauge
+// and task wait/run-time histograms in the global metrics registry.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -28,25 +32,33 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Stops accepting work, drains the queue, and joins the workers.
+  /// Idempotent; also invoked by the destructor.
+  void shutdown();
+
   /// Enqueues a task; the returned future rethrows any task exception.
+  /// Throws coloc::runtime_error if the pool has been shut down — a task
+  /// accepted after shutdown would never run.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task =
         std::make_shared<std::packaged_task<void()>>(std::forward<F>(f));
     std::future<void> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -1,10 +1,35 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace coloc::core {
+
+namespace {
+// Resolved once; references stay valid for the process lifetime.
+struct CampaignMetrics {
+  obs::Counter& cells_alone;
+  obs::Counter& cells_colocated;
+  obs::Counter& baselines;
+  obs::Histogram& cell_seconds;
+
+  static CampaignMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static CampaignMetrics metrics{
+        registry.counter("campaign_cells_total", {{"phase", "alone"}}),
+        registry.counter("campaign_cells_total", {{"phase", "colocated"}}),
+        registry.counter("campaign_baselines_total"),
+        registry.histogram("campaign_cell_seconds"),
+    };
+    return metrics;
+  }
+};
+}  // namespace
 
 CampaignConfig CampaignConfig::paper_defaults() {
   CampaignConfig config;
@@ -30,6 +55,9 @@ CampaignResult run_campaign(sim::Simulator& simulator,
                             const CampaignConfig& config) {
   COLOC_CHECK_MSG(!config.targets.empty(), "campaign needs target apps");
   COLOC_CHECK_MSG(!config.coapps.empty(), "campaign needs co-runner apps");
+
+  obs::ScopedSpan campaign_span("campaign", "core");
+  CampaignMetrics& metrics = CampaignMetrics::get();
 
   const sim::MachineConfig& machine = simulator.machine();
 
@@ -59,7 +87,18 @@ CampaignResult run_campaign(sim::Simulator& simulator,
                     [&co](const auto& a) { return a.name == co.name; });
     if (!present) all_apps.push_back(co);
   }
-  result.baselines = collect_baselines(simulator, all_apps);
+  {
+    obs::ScopedSpan baseline_span("campaign/baselines", "core");
+    result.baselines = collect_baselines(simulator, all_apps);
+    metrics.baselines.inc(all_apps.size());
+  }
+
+  // One progress unit per campaign cell (a dataset row).
+  const std::size_t cells_per_target =
+      (config.include_alone_rows ? 1 : 0) + config.coapps.size() * counts.size();
+  obs::ProgressReporter progress(
+      "campaign " + machine.name,
+      pstates.size() * config.targets.size() * cells_per_target);
 
   // The nested collection loops of Table V.
   for (std::size_t p : pstates) {
@@ -68,17 +107,27 @@ CampaignResult run_campaign(sim::Simulator& simulator,
           result.baselines.at(target.name);
 
       if (config.include_alone_rows) {
+        obs::ScopedSpan cell_span("campaign/cell", "core");
+        const auto cell_start = std::chrono::steady_clock::now();
         const auto features = compute_features(target_baseline, {}, p);
         const sim::RunMeasurement alone = simulator.run_alone(target, p, 1);
         result.dataset.add_row(
             features, alone.execution_time_s,
             CampaignResult::make_tag(target.name, "-", 0, p));
         ++result.total_runs;
+        metrics.cells_alone.inc();
+        metrics.cell_seconds.observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          cell_start)
+                .count());
+        progress.tick();
       }
 
       for (const auto& coapp : config.coapps) {
         const BaselineProfile& co_baseline = result.baselines.at(coapp.name);
         for (std::size_t count : counts) {
+          obs::ScopedSpan cell_span("campaign/cell", "core");
+          const auto cell_start = std::chrono::steady_clock::now();
           const std::vector<sim::ApplicationSpec> copies(count, coapp);
           const sim::RunMeasurement m =
               simulator.run_colocated(target, copies, p);
@@ -91,6 +140,12 @@ CampaignResult run_campaign(sim::Simulator& simulator,
               features, m.execution_time_s,
               CampaignResult::make_tag(target.name, coapp.name, count, p));
           ++result.total_runs;
+          metrics.cells_colocated.inc();
+          metrics.cell_seconds.observe(
+              std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - cell_start)
+                  .count());
+          progress.tick();
         }
       }
     }

@@ -165,10 +165,10 @@ MlpRegressor MlpRegressor::fit(const linalg::Matrix& x,
             },
     };
     std::vector<double> p(net.parameters().begin(), net.parameters().end());
-    const ScgResult res = scg_minimize(objective, p,
-                                       {.max_iterations = options.max_iterations,
-                                        .gradient_tolerance =
-                                            options.gradient_tolerance});
+    ScgOptions scg_options;
+    scg_options.max_iterations = options.max_iterations;
+    scg_options.gradient_tolerance = options.gradient_tolerance;
+    const ScgResult res = scg_minimize(objective, p, scg_options);
     net.set_parameters(res.solution);
     const double final_loss = net.loss(design, z, options.weight_decay);
     if (final_loss < best_loss) {

@@ -2,11 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "common/error.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace coloc::ml {
+
+namespace {
+struct ScgMetrics {
+  obs::Counter& runs;
+  obs::Counter& converged;
+  obs::Counter& epochs;
+  obs::Gauge& gradient_norm;
+
+  static ScgMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static ScgMetrics metrics{
+        registry.counter("scg_runs_total"),
+        registry.counter("scg_converged_total"),
+        registry.counter("scg_epochs_total"),
+        registry.gauge("scg_gradient_norm"),
+    };
+    return metrics;
+  }
+};
+}  // namespace
 
 ScgResult scg_minimize(const ScgObjective& objective,
                        std::span<const double> initial,
@@ -16,6 +41,12 @@ ScgResult scg_minimize(const ScgObjective& objective,
                   "initial point dimension mismatch");
   COLOC_CHECK_MSG(static_cast<bool>(objective.value_and_gradient),
                   "objective callback not set");
+
+  obs::ScopedSpan span("scg/minimize", "ml");
+  std::optional<obs::ProgressReporter> progress;
+  if (!options.progress_label.empty()) {
+    progress.emplace(options.progress_label, options.max_iterations);
+  }
 
   const std::size_t n = objective.dimension;
   std::vector<double> w(initial.begin(), initial.end());
@@ -42,6 +73,7 @@ ScgResult scg_minimize(const ScgObjective& objective,
 
   std::size_t k = 0;
   for (; k < options.max_iterations; ++k) {
+    if (progress) progress->tick();
     const double p_norm2 = linalg::dot(p, p);
     const double p_norm = std::sqrt(p_norm2);
     const double r_norm = linalg::norm2(r);
@@ -132,6 +164,12 @@ ScgResult scg_minimize(const ScgObjective& objective,
   result.iterations = k;
   if (result.gradient_norm < options.gradient_tolerance)
     result.converged = true;
+
+  ScgMetrics& metrics = ScgMetrics::get();
+  metrics.runs.inc();
+  metrics.epochs.inc(k);
+  if (result.converged) metrics.converged.inc();
+  metrics.gradient_norm.set(result.gradient_norm);
   return result;
 }
 

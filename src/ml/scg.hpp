@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace coloc::ml {
@@ -31,6 +32,9 @@ struct ScgOptions {
   /// Initial scaling parameters (Møller's sigma and lambda).
   double sigma0 = 1e-5;
   double lambda0 = 1e-7;
+  /// When non-empty, epochs are reported through obs::ProgressReporter
+  /// under this label (throttled; silent for fast optimizations).
+  std::string progress_label;
 };
 
 struct ScgResult {

@@ -1,6 +1,7 @@
 #include "ml/validation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 
@@ -9,8 +10,29 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 namespace coloc::ml {
+
+namespace {
+struct ValidationMetrics {
+  obs::Counter& partitions;
+  obs::Histogram& partition_seconds;
+  obs::Gauge& last_test_mpe;
+
+  static ValidationMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static ValidationMetrics metrics{
+        registry.counter("validation_partitions_total"),
+        registry.histogram("validation_partition_seconds"),
+        registry.gauge("validation_last_test_mpe"),
+    };
+    return metrics;
+  }
+};
+}  // namespace
 
 SplitIndices random_split(std::size_t n, double holdout_fraction,
                           std::uint64_t seed) {
@@ -40,7 +62,13 @@ ValidationResult repeated_subsampling_validation(
       test_nrmse(P);
   std::vector<std::vector<TaggedPrediction>> collected(P);
 
+  obs::ScopedSpan validation_span("validation", "ml");
+  ValidationMetrics& metrics = ValidationMetrics::get();
+  obs::ProgressReporter progress("validation", P);
+
   auto run_partition = [&](std::size_t p) {
+    obs::ScopedSpan partition_span("validation/partition", "ml");
+    const auto partition_start = std::chrono::steady_clock::now();
     // Derive a per-partition seed so results are independent of scheduling.
     const std::uint64_t seed = options.seed * 0x9e3779b97f4a7c15ULL +
                                static_cast<std::uint64_t>(p) * 0x61c88647ULL;
@@ -71,6 +99,13 @@ ValidationResult repeated_subsampling_validation(
                                           pred_test[i]});
       }
     }
+
+    metrics.partitions.inc();
+    metrics.partition_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      partition_start)
+            .count());
+    progress.tick();
   };
 
   if (options.parallel) {
@@ -78,6 +113,8 @@ ValidationResult repeated_subsampling_validation(
   } else {
     for (std::size_t p = 0; p < P; ++p) run_partition(p);
   }
+
+  progress.finish();
 
   ValidationResult result;
   result.partitions = P;
@@ -87,6 +124,7 @@ ValidationResult repeated_subsampling_validation(
   result.test_nrmse = mean(test_nrmse);
   result.test_mpe_stddev = stddev(test_mpe);
   result.test_nrmse_stddev = stddev(test_nrmse);
+  metrics.last_test_mpe.set(result.test_mpe);
   if (options.collect_test_predictions) {
     std::size_t total = 0;
     for (const auto& bucket : collected) total += bucket.size();

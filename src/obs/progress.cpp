@@ -1,0 +1,102 @@
+#include "obs/progress.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace coloc::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("COLOC_PROGRESS");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0 ||
+             std::strcmp(env, "off") == 0);
+  }();
+  return enabled;
+}
+
+std::int64_t steady_ns(std::chrono::steady_clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void set_progress_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+bool progress_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+ProgressReporter::ProgressReporter(std::string label, std::uint64_t total,
+                                   std::chrono::milliseconds min_interval)
+    : label_(std::move(label)), total_(total), min_interval_(min_interval),
+      start_(std::chrono::steady_clock::now()),
+      next_print_ns_(steady_ns(start_ + min_interval)) {}
+
+ProgressReporter::~ProgressReporter() { finish(); }
+
+void ProgressReporter::tick(std::uint64_t n) {
+  const std::uint64_t done_count =
+      done_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!progress_enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (steady_ns(now) < next_print_ns_.load(std::memory_order_relaxed)) return;
+  // try_lock: workers never block on reporting; a missed print is fine.
+  if (!print_mutex_.try_lock()) return;
+  next_print_ns_.store(steady_ns(now + min_interval_),
+                       std::memory_order_relaxed);
+  print_line(done_count, /*final_line=*/false);
+  print_mutex_.unlock();
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(print_mutex_);
+  if (finished_) return;
+  finished_ = true;
+  if (!progress_enabled()) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  // Stay silent for loops that never crossed the reporting interval.
+  if (!printed_.load(std::memory_order_relaxed) && elapsed < min_interval_)
+    return;
+  print_line(done_.load(std::memory_order_relaxed), /*final_line=*/true);
+}
+
+void ProgressReporter::print_line(std::uint64_t done_count, bool final_line) {
+  printed_.store(true, std::memory_order_relaxed);
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(done_count) / elapsed_s : 0.0;
+  if (final_line) {
+    std::fprintf(stderr, "[%s] done: %llu in %.1fs (%.1f/s)\n",
+                 label_.c_str(),
+                 static_cast<unsigned long long>(done_count), elapsed_s,
+                 rate);
+    return;
+  }
+  if (total_ > 0) {
+    const double pct =
+        100.0 * static_cast<double>(done_count) / static_cast<double>(total_);
+    const double eta_s =
+        rate > 0.0 && done_count < total_
+            ? static_cast<double>(total_ - done_count) / rate
+            : 0.0;
+    std::fprintf(stderr, "[%s] %llu/%llu (%.1f%%) %.1f/s eta %.1fs\n",
+                 label_.c_str(),
+                 static_cast<unsigned long long>(done_count),
+                 static_cast<unsigned long long>(total_), pct, rate, eta_s);
+  } else {
+    std::fprintf(stderr, "[%s] %llu done, %.1f/s\n", label_.c_str(),
+                 static_cast<unsigned long long>(done_count), rate);
+  }
+}
+
+}  // namespace coloc::obs

@@ -1,0 +1,61 @@
+// Throttled progress reporting for long-running loops (campaign cells,
+// validation partitions, SCG epochs).
+//
+// A ProgressReporter is shared by all workers of one loop; tick() is
+// thread-safe and cheap (one relaxed atomic increment plus a time check).
+// Lines go to stderr, at most one per `min_interval`, so short loops
+// print nothing at all. Reporting can be silenced globally with the
+// COLOC_PROGRESS=0 environment variable or set_progress_enabled(false).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace coloc::obs {
+
+/// Globally enables/disables progress lines (default: enabled unless the
+/// COLOC_PROGRESS env var is "0", "false", or "off").
+void set_progress_enabled(bool enabled);
+bool progress_enabled();
+
+class ProgressReporter {
+ public:
+  /// `total` of 0 means "unknown" (rate is reported without percent/ETA).
+  explicit ProgressReporter(
+      std::string label, std::uint64_t total = 0,
+      std::chrono::milliseconds min_interval = std::chrono::milliseconds(500));
+  /// Prints the final summary line (if anything was ever printed).
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Records `n` completed units; prints at most once per min_interval.
+  void tick(std::uint64_t n = 1);
+
+  /// Prints the closing "done" line once (idempotent; also called by the
+  /// destructor). Only prints if a progress line was already shown or the
+  /// loop outlived the reporting interval, keeping fast paths silent.
+  void finish();
+
+  std::uint64_t done() const {
+    return done_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void print_line(std::uint64_t done_count, bool final_line);
+
+  std::string label_;
+  std::uint64_t total_;
+  std::chrono::milliseconds min_interval_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::atomic<std::int64_t> next_print_ns_;
+  std::mutex print_mutex_;
+  std::atomic<bool> printed_{false};
+  bool finished_ = false;
+};
+
+}  // namespace coloc::obs

@@ -1,0 +1,89 @@
+#include "obs/session.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace coloc::obs {
+
+ObsSession::ObsSession(ObsOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {
+  if (!options_.trace_out.empty()) {
+    sink_ = std::make_unique<TraceSink>();
+    sink_->install();
+  }
+}
+
+ObsSession::~ObsSession() { finalize(); }
+
+void ObsSession::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+
+  if (sink_ != nullptr) {
+    if (TraceSink::current() == sink_.get()) TraceSink::uninstall();
+    if (!sink_->write_chrome_json(options_.trace_out)) {
+      std::fprintf(stderr, "[obs] failed to write trace file %s\n",
+                   options_.trace_out.c_str());
+    }
+    const std::string csv_path = csv_twin_path(options_.trace_out);
+    if (!sink_->write_csv(csv_path)) {
+      std::fprintf(stderr, "[obs] failed to write trace CSV %s\n",
+                   csv_path.c_str());
+    }
+  }
+
+  if (!options_.metrics_out.empty()) {
+    if (!write_metrics_file(Registry::global().snapshot(),
+                            options_.metrics_out)) {
+      std::fprintf(stderr, "[obs] failed to write metrics file %s\n",
+                   options_.metrics_out.c_str());
+    }
+  }
+
+  if (options_.report_resources) {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const long rss_kb = peak_rss_kb();
+    // One greppable line on stdout so bench trajectories can track cost.
+    if (rss_kb >= 0) {
+      std::printf("[%s] total_wall_time_s=%.3f peak_rss_mb=%.1f\n",
+                  options_.label.c_str(), wall_s,
+                  static_cast<double>(rss_kb) / 1024.0);
+    } else {
+      std::printf("[%s] total_wall_time_s=%.3f peak_rss_mb=unknown\n",
+                  options_.label.c_str(), wall_s);
+    }
+  }
+}
+
+long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return -1;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream is(line.substr(6));
+    long kb = -1;
+    is >> kb;
+    return is ? kb : -1;
+  }
+  return -1;
+}
+
+std::string csv_twin_path(const std::string& path) {
+  const std::string suffix = ".json";
+  if (path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return path.substr(0, path.size() - suffix.size()) + ".csv";
+  }
+  return path + ".csv";
+}
+
+}  // namespace coloc::obs

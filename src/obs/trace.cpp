@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <iomanip>
+
+#include "obs/json.hpp"
+
+namespace coloc::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+
+// Bumped on every install() so a thread's cached buffer registration can
+// never alias a new sink allocated at a recycled address.
+std::atomic<std::uint64_t> g_generation{0};
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Per-thread nesting depth for ScopedSpan.
+thread_local std::uint32_t t_depth = 0;
+
+// Per-thread cached buffer registration, keyed by sink identity.
+struct ThreadCache {
+  TraceSink* sink = nullptr;
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local ThreadCache t_cache;
+
+}  // namespace
+
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t trace_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+TraceSink::~TraceSink() {
+  if (current() == this) uninstall();
+}
+
+TraceSink* TraceSink::current() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void TraceSink::install() {
+  trace_epoch();  // pin the epoch before the first span
+  g_generation.fetch_add(1, std::memory_order_relaxed);
+  g_sink.store(this, std::memory_order_release);
+}
+
+void TraceSink::uninstall() {
+  g_sink.store(nullptr, std::memory_order_release);
+}
+
+TraceSink::ThreadBuffer& TraceSink::buffer_for_this_thread() {
+  const std::uint64_t generation =
+      g_generation.load(std::memory_order_relaxed);
+  if (t_cache.sink != this || t_cache.generation != generation) {
+    auto buffer = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = buffer.get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      buffers_.push_back(std::move(buffer));
+    }
+    t_cache = ThreadCache{this, generation, raw};
+  }
+  return *static_cast<ThreadBuffer*>(t_cache.buffer);
+}
+
+void TraceSink::record(TraceEvent event) {
+  ThreadBuffer& buffer = buffer_for_this_thread();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;  // parents before children
+            });
+  return all;
+}
+
+std::size_t TraceSink::num_events() const {
+  std::size_t n = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+bool TraceSink::write_chrome_json(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  // Fixed 3-decimal microsecond timestamps keep full nanosecond precision
+  // regardless of trace length (default float formatting would round).
+  os << std::fixed << std::setprecision(3);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events()) {
+    if (!first) os << ',';
+    first = false;
+    // Complete events ("ph":"X") with microsecond timestamps, as expected
+    // by chrome://tracing and Perfetto.
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.category.empty() ? "span" : e.category)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
+       << static_cast<double>(e.start_ns) / 1e3 << ",\"dur\":"
+       << static_cast<double>(e.duration_ns) / 1e3
+       << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  os << "]}";
+  return static_cast<bool>(os);
+}
+
+namespace {
+
+// RFC-4180 field quoting: always quoted (names are free-form), with
+// embedded quotes doubled so CsvTable::load round-trips exactly.
+void write_csv_field(std::ostream& os, const std::string& field) {
+  os << '"';
+  for (char c : field) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+bool TraceSink::write_csv(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os << "name,category,tid,depth,start_ns,duration_ns\n";
+  for (const TraceEvent& e : events()) {
+    write_csv_field(os, e.name);
+    os << ',';
+    write_csv_field(os, e.category);
+    os << ',' << e.tid << ',' << e.depth << ',' << e.start_ns << ','
+       << e.duration_ns << '\n';
+  }
+  return static_cast<bool>(os);
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : sink_(TraceSink::current()), name_(name), category_(category) {
+  if (sink_ == nullptr) return;
+  start_ns_ = trace_now_ns();
+  ++t_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (sink_ == nullptr) return;
+  const std::uint64_t end_ns = trace_now_ns();
+  const std::uint32_t depth = --t_depth;
+  // The sink may have been swapped while the span was open; record on the
+  // sink that was active at construction only if it is still installed.
+  if (TraceSink::current() != sink_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = thread_index();
+  event.depth = depth;
+  event.start_ns = start_ns_;
+  event.duration_ns = end_ns - start_ns_;
+  sink_->record(std::move(event));
+}
+
+}  // namespace coloc::obs

@@ -1,0 +1,98 @@
+// Tracing spans with per-thread buffers and Chrome-trace export.
+//
+// Usage: install a TraceSink (usually via obs::ObsSession), then wrap
+// regions of interest in RAII ScopedSpan objects:
+//
+//   { obs::ScopedSpan span("campaign/cell", "core"); ... }
+//
+// When no sink is installed a span is a no-op costing one relaxed atomic
+// load, so library code can stay instrumented unconditionally. Completed
+// spans append to a per-thread buffer (no cross-thread contention on the
+// record path beyond an uncontended mutex) and are merged on export into
+// a chrome://tracing-compatible JSON file and/or a flat CSV.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace coloc::obs {
+
+/// One completed span. Timestamps are nanoseconds on a process-wide
+/// steady clock (comparable across threads and sinks).
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;    // small per-thread index, see thread_index()
+  std::uint32_t depth = 0;  // span nesting depth on its thread (0 = root)
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+};
+
+/// Small dense id for the calling thread (assigned on first use).
+std::uint32_t thread_index();
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+std::uint64_t trace_now_ns();
+
+/// Collects spans from all threads. At most one sink is installed at a
+/// time; spans started while a sink is installed must finish before that
+/// sink is destroyed.
+class TraceSink {
+ public:
+  TraceSink() = default;
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// The installed sink, or nullptr when tracing is disabled.
+  static TraceSink* current();
+  /// Makes this sink the destination for new spans.
+  void install();
+  /// Disables tracing (the sink keeps its recorded events).
+  static void uninstall();
+
+  void record(TraceEvent event);
+
+  /// Copies all recorded events, sorted by start time (non-destructive).
+  std::vector<TraceEvent> events() const;
+  std::size_t num_events() const;
+
+  /// Writes chrome://tracing "trace event" JSON (load via about://tracing
+  /// or https://ui.perfetto.dev). Returns false on I/O error.
+  bool write_chrome_json(const std::string& path) const;
+  /// Writes a flat CSV: name,category,tid,depth,start_ns,duration_ns.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+  ThreadBuffer& buffer_for_this_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) on the current sink.
+/// `name` and `category` must outlive the span (string literals in
+/// practice). No-op when no sink is installed at construction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* category = "");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  const char* category_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace coloc::obs

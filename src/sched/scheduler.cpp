@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/energy.hpp"
 
 namespace coloc::sched {
@@ -46,6 +48,7 @@ double Scheduler::predicted_slowdown_of_group(
 
 std::vector<NodeAssignment> Scheduler::assign(const std::vector<Job>& jobs,
                                               Policy policy) const {
+  obs::ScopedSpan span("sched/assign", "sched");
   for (const Job& job : jobs) {
     COLOC_CHECK_MSG(job.baseline != nullptr, "job missing baseline profile");
   }
@@ -113,6 +116,11 @@ std::vector<NodeAssignment> Scheduler::assign(const std::vector<Job>& jobs,
       break;
     }
   }
+  // One placement decision per job; labeled by policy so mixes are
+  // distinguishable in a single run's metrics snapshot.
+  obs::Registry::global()
+      .counter("sched_placements_total", {{"policy", to_string(policy)}})
+      .inc(jobs.size());
   return nodes;
 }
 

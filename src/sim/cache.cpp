@@ -1,8 +1,10 @@
 #include "sim/cache.hpp"
 
 #include <bit>
+#include <utility>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace coloc::sim {
 
@@ -16,6 +18,64 @@ Cache::Cache(CacheConfig config) : config_(std::move(config)) {
   num_sets_ = config_.num_sets();
   COLOC_CHECK_MSG(num_sets_ > 0, "cache must have at least one set");
   ways_.assign(num_sets_ * config_.associativity, Way{});
+}
+
+Cache::~Cache() { publish_stats(); }
+
+Cache::Cache(const Cache& other)
+    : config_(other.config_), num_sets_(other.num_sets_), ways_(other.ways_),
+      stats_(other.stats_), published_(other.stats_), clock_(other.clock_) {}
+
+Cache& Cache::operator=(const Cache& other) {
+  if (this == &other) return *this;
+  publish_stats();  // don't lose this object's pending window
+  config_ = other.config_;
+  num_sets_ = other.num_sets_;
+  ways_ = other.ways_;
+  stats_ = other.stats_;
+  published_ = other.stats_;
+  clock_ = other.clock_;
+  return *this;
+}
+
+Cache::Cache(Cache&& other) noexcept
+    : config_(std::move(other.config_)), num_sets_(other.num_sets_),
+      ways_(std::move(other.ways_)), stats_(other.stats_),
+      published_(other.published_), clock_(other.clock_) {
+  // The pending window travels with *this; the source has nothing left.
+  other.published_ = other.stats_;
+}
+
+Cache& Cache::operator=(Cache&& other) noexcept {
+  if (this == &other) return *this;
+  publish_stats();
+  config_ = std::move(other.config_);
+  num_sets_ = other.num_sets_;
+  ways_ = std::move(other.ways_);
+  stats_ = other.stats_;
+  published_ = other.published_;
+  clock_ = other.clock_;
+  other.published_ = other.stats_;
+  return *this;
+}
+
+void Cache::publish_stats() {
+  const std::uint64_t accesses = stats_.accesses - published_.accesses;
+  const std::uint64_t hits = stats_.hits - published_.hits;
+  const std::uint64_t misses = stats_.misses - published_.misses;
+  published_ = stats_;
+  if (accesses == 0 && hits == 0 && misses == 0) return;
+  auto& registry = obs::Registry::global();
+  const obs::Labels labels{{"level", config_.name}};
+  registry.counter("cache_accesses_total", labels).inc(accesses);
+  registry.counter("cache_hits_total", labels).inc(hits);
+  registry.counter("cache_misses_total", labels).inc(misses);
+}
+
+void Cache::reset_stats() {
+  publish_stats();
+  stats_ = {};
+  published_ = {};
 }
 
 bool Cache::access(LineAddress line) {

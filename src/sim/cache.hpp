@@ -39,9 +39,23 @@ struct CacheStats {
 };
 
 /// One set-associative LRU cache level operating on line addresses.
+///
+/// Global cache_accesses_total / cache_hits_total / cache_misses_total
+/// counters (labeled by level name) are fed in batches: the per-access
+/// hot path only bumps the local CacheStats, and the accumulated window
+/// is published to the metrics registry on destruction, reset_stats(),
+/// or an explicit publish_stats() — keeping access() free of atomics.
 class Cache {
  public:
   explicit Cache(CacheConfig config);
+  ~Cache();
+  // Copies/moves start a fresh unpublished window on the destination so
+  // the already-accumulated window is only ever published once (by the
+  // source object).
+  Cache(const Cache& other);
+  Cache& operator=(const Cache& other);
+  Cache(Cache&& other) noexcept;
+  Cache& operator=(Cache&& other) noexcept;
 
   /// Accesses a line; returns true on hit. LRU state is updated.
   bool access(LineAddress line);
@@ -49,7 +63,11 @@ class Cache {
   /// True if the line is currently resident (no state change).
   bool contains(LineAddress line) const;
 
-  void reset_stats() { stats_ = {}; }
+  /// Adds the not-yet-published window of stats to the global metrics
+  /// registry counters. Called automatically by the destructor.
+  void publish_stats();
+
+  void reset_stats();
   void flush();
 
   const CacheConfig& config() const { return config_; }
@@ -72,6 +90,7 @@ class Cache {
   std::size_t num_sets_;
   std::vector<Way> ways_;  // num_sets x associativity, row-major
   CacheStats stats_;
+  CacheStats published_;  // portion of stats_ already in the registry
   std::uint64_t clock_ = 0;
 };
 

@@ -3,10 +3,28 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace coloc::sim {
 
 namespace {
+struct SimMetrics {
+  obs::Counter& runs;
+  obs::Counter& instructions;
+  obs::Counter& contention_solves;
+
+  static SimMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static SimMetrics metrics{
+        registry.counter("sim_runs_total"),
+        registry.counter("sim_instructions_total"),
+        registry.counter("sim_contention_solves_total"),
+    };
+    return metrics;
+  }
+};
+
 std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
   for (char c : s) {
     h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
@@ -41,6 +59,8 @@ ContentionSolution Simulator::solve(const std::vector<ApplicationSpec>& apps,
                                     std::size_t pstate_index) const {
   COLOC_CHECK_MSG(pstate_index < machine_.pstates.size(),
                   "P-state index out of range");
+  obs::ScopedSpan span("sim/solve_contention", "sim");
+  SimMetrics::get().contention_solves.inc();
   std::vector<ScheduledApp> scheduled;
   scheduled.reserve(apps.size());
   for (const auto& app : apps) {
@@ -58,6 +78,11 @@ RunMeasurement Simulator::measure(const ApplicationSpec& target,
                                   std::uint64_t repetition) {
   COLOC_CHECK_MSG(coapps.size() + 1 <= machine_.cores,
                   "co-location exceeds core count");
+
+  obs::ScopedSpan span("sim/measure", "sim");
+  SimMetrics& metrics = SimMetrics::get();
+  metrics.runs.inc();
+  metrics.instructions.inc(static_cast<std::uint64_t>(target.instructions));
 
   std::vector<ApplicationSpec> all;
   all.reserve(coapps.size() + 1);

@@ -1,0 +1,90 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+namespace coloc::obs {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(json_parse("null").is_null());
+  EXPECT_TRUE(json_parse("true").boolean);
+  EXPECT_FALSE(json_parse("false").boolean);
+  EXPECT_DOUBLE_EQ(json_parse("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(json_parse("-1.5e3").number, -1500.0);
+  EXPECT_DOUBLE_EQ(json_parse("0.125").number, 0.125);
+  EXPECT_EQ(json_parse("\"hi\"").string, "hi");
+}
+
+TEST(JsonParse, ArraysAndObjects) {
+  const JsonValue v = json_parse(R"({"a": [1, 2, 3], "b": {"c": "d"}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 2u);
+  const JsonValue& a = v.at("a");
+  ASSERT_TRUE(a.is_array());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(2).number, 3.0);
+  EXPECT_EQ(v.at("b").at("c").string, "d");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, EmptyContainersAndWhitespace) {
+  EXPECT_EQ(json_parse(" [ ] ").size(), 0u);
+  EXPECT_EQ(json_parse("\n{\t}\r\n").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(json_parse(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+  // \uXXXX including a surrogate pair (UTF-8 encoded on output).
+  EXPECT_EQ(json_parse(R"("A")").string, "A");
+  EXPECT_EQ(json_parse(R"("é")").string, "\xc3\xa9");
+  EXPECT_EQ(json_parse(R"("😀")").string, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), std::runtime_error);
+  EXPECT_THROW(json_parse("{"), std::runtime_error);
+  EXPECT_THROW(json_parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json_parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json_parse("tru"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json_parse("1 trailing"), std::runtime_error);
+  EXPECT_THROW(json_parse("\"bad\\q\""), std::runtime_error);
+}
+
+TEST(JsonParse, AccessorsValidateTypes) {
+  const JsonValue v = json_parse("[1]");
+  EXPECT_THROW(v.at("key"), std::runtime_error);
+  EXPECT_THROW(v.at(5), std::runtime_error);
+  const JsonValue o = json_parse("{}");
+  EXPECT_THROW(o.at("absent"), std::runtime_error);
+}
+
+TEST(JsonParseFile, LoadsFromDiskAndRejectsMissingFiles) {
+  const std::string path = testing::TempDir() + "coloc_json_test.json";
+  {
+    std::ofstream os(path);
+    os << R"({"answer": 42})";
+  }
+  EXPECT_DOUBLE_EQ(json_parse_file(path).at("answer").number, 42.0);
+  EXPECT_THROW(json_parse_file(path + ".does-not-exist"),
+               std::runtime_error);
+}
+
+TEST(JsonEscape, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  // Escaped output must parse back to the original.
+  const std::string nasty = "quote\" slash\\ tab\t nl\n";
+  std::string quoted = "\"";
+  quoted += json_escape(nasty);
+  quoted += '"';
+  EXPECT_EQ(json_parse(quoted).string, nasty);
+}
+
+}  // namespace
+}  // namespace coloc::obs

@@ -1,0 +1,184 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "obs/json.hpp"
+
+namespace coloc::obs {
+namespace {
+
+TEST(ScopedSpan, NoOpWithoutSink) {
+  TraceSink::uninstall();
+  EXPECT_EQ(TraceSink::current(), nullptr);
+  {
+    ScopedSpan span("orphan", "test");
+  }
+  // Nothing to assert beyond "did not crash": spans without a sink
+  // must record nowhere.
+  TraceSink sink;
+  sink.install();
+  EXPECT_EQ(sink.num_events(), 0u);
+  TraceSink::uninstall();
+}
+
+TEST(ScopedSpan, RecordsNameCategoryAndDuration) {
+  TraceSink sink;
+  sink.install();
+  {
+    ScopedSpan span("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  TraceSink::uninstall();
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].category, "test");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_GE(events[0].duration_ns, 1'000'000u);
+}
+
+TEST(ScopedSpan, NestingIsRecordedViaDepthAndOrdering) {
+  TraceSink sink;
+  sink.install();
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan mid("mid");
+      { ScopedSpan inner("inner"); }
+    }
+    { ScopedSpan sibling("sibling"); }
+  }
+  TraceSink::uninstall();
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 4u);
+  // events() sorts by start time, longest-first on ties, so parents
+  // always precede their children.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].name, "mid");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].depth, 2u);
+  EXPECT_EQ(events[3].name, "sibling");
+  EXPECT_EQ(events[3].depth, 1u);
+
+  // Children are contained within their parent's interval.
+  const auto end_ns = [](const TraceEvent& e) {
+    return e.start_ns + e.duration_ns;
+  };
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(end_ns(events[i]), end_ns(events[0]));
+  }
+  EXPECT_GE(events[3].start_ns, end_ns(events[2]));
+}
+
+TEST(TraceSink, CollectsSpansFromMultipleThreads) {
+  TraceSink sink;
+  sink.install();
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span("worker", "mt");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  TraceSink::uninstall();
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kSpans);
+  std::set<std::uint32_t> tids;
+  for (const auto& e : events) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const TraceEvent& a, const TraceEvent& b) {
+        return a.start_ns < b.start_ns;
+      }));
+}
+
+TEST(TraceSink, ChromeJsonRoundTripsThroughTheJsonReader) {
+  TraceSink sink;
+  sink.install();
+  {
+    ScopedSpan outer("campaign", "core");
+    { ScopedSpan inner("campaign/cell", "core"); }
+  }
+  TraceSink::uninstall();
+
+  const std::string path = testing::TempDir() + "coloc_trace_test.json";
+  ASSERT_TRUE(sink.write_chrome_json(path));
+
+  const JsonValue doc = json_parse_file(path);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+  const JsonValue& first = events.at(0);
+  EXPECT_EQ(first.at("name").string, "campaign");
+  EXPECT_EQ(first.at("cat").string, "core");
+  EXPECT_EQ(first.at("ph").string, "X");
+  EXPECT_TRUE(first.at("ts").is_number());
+  EXPECT_TRUE(first.at("dur").is_number());
+  EXPECT_DOUBLE_EQ(first.at("args").at("depth").number, 0.0);
+  EXPECT_DOUBLE_EQ(events.at(1).at("args").at("depth").number, 1.0);
+  // The inner span starts no earlier and lasts no longer.
+  EXPECT_GE(events.at(1).at("ts").number, first.at("ts").number);
+  EXPECT_LE(events.at(1).at("dur").number, first.at("dur").number);
+}
+
+TEST(TraceSink, CsvRoundTripsThroughTheCsvReader) {
+  TraceSink sink;
+  sink.install();
+  {
+    ScopedSpan span("has,comma and \"quotes\"", "csv");
+  }
+  TraceSink::uninstall();
+
+  const std::string path = testing::TempDir() + "coloc_trace_test.csv";
+  ASSERT_TRUE(sink.write_csv(path));
+
+  const CsvTable table = CsvTable::load(path);
+  const std::vector<std::string> expected_header = {
+      "name", "category", "tid", "depth", "start_ns", "duration_ns"};
+  EXPECT_EQ(table.header(), expected_header);
+  ASSERT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.at(0, table.column("name")), "has,comma and \"quotes\"");
+  EXPECT_EQ(table.at(0, table.column("category")), "csv");
+  EXPECT_EQ(table.at(0, table.column("depth")), "0");
+  EXPECT_GE(table.at_double(0, table.column("duration_ns")), 0.0);
+}
+
+TEST(TraceSink, SpansIgnoreSinksInstalledMidSpan) {
+  TraceSink::uninstall();
+  TraceSink late;
+  {
+    ScopedSpan span("started-before-install");
+    late.install();
+  }
+  TraceSink::uninstall();
+  // The span captured "no sink" at construction, so nothing is recorded.
+  EXPECT_EQ(late.num_events(), 0u);
+}
+
+TEST(ThreadIndex, IsStablePerThreadAndUniqueAcrossThreads) {
+  const std::uint32_t mine = thread_index();
+  EXPECT_EQ(thread_index(), mine);
+  std::uint32_t other = mine;
+  std::thread([&other] { other = thread_index(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace coloc::obs

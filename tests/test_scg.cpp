@@ -36,8 +36,10 @@ TEST(Scg, SolvesIllConditionedQuadratic) {
         g[1] = 1.0 * p[1];
         return 0.5 * (1e4 * p[0] * p[0] + p[1] * p[1]);
       }};
+  ScgOptions options;
+  options.max_iterations = 500;
   const ScgResult r = scg_minimize(obj, std::vector<double>{1.0, 1.0},
-                                   {.max_iterations = 500});
+                                   options);
   EXPECT_NEAR(r.solution[0], 0.0, 1e-4);
   EXPECT_NEAR(r.solution[1], 0.0, 1e-3);
 }
@@ -54,9 +56,11 @@ TEST(Scg, RosenbrockReachesValley) {
         return (1.0 - x) * (1.0 - x) +
                100.0 * (y - x * x) * (y - x * x);
       }};
+  ScgOptions options;
+  options.max_iterations = 5000;
+  options.value_tolerance = 0.0;
   const ScgResult r = scg_minimize(obj, std::vector<double>{-1.2, 1.0},
-                                   {.max_iterations = 5000,
-                                    .value_tolerance = 0.0});
+                                   options);
   EXPECT_LT(r.value, 1e-3);
 }
 
@@ -81,8 +85,9 @@ TEST(Scg, RespectsIterationBudget) {
         g[0] = std::cos(p[0]);
         return std::sin(p[0]) + 2.0;  // bounded, wandering objective
       }};
-  const ScgResult r = scg_minimize(obj, std::vector<double>{0.3},
-                                   {.max_iterations = 5});
+  ScgOptions options;
+  options.max_iterations = 5;
+  const ScgResult r = scg_minimize(obj, std::vector<double>{0.3}, options);
   EXPECT_LE(r.iterations, 5u);
 }
 
@@ -100,8 +105,10 @@ TEST(Scg, HighDimensionalQuadratic) {
         }
         return f;
       }};
+  ScgOptions options;
+  options.max_iterations = 2000;
   const ScgResult r = scg_minimize(obj, std::vector<double>(n, 0.0),
-                                   {.max_iterations = 2000});
+                                   options);
   for (double v : r.solution) EXPECT_NEAR(v, 1.0, 1e-3);
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -75,6 +77,37 @@ TEST(ParallelFor, ExplicitChunking) {
   std::atomic<int> counter{0};
   parallel_for(pool, 97, [&counter](std::size_t) { ++counter; }, 10);
   EXPECT_EQ(counter.load(), 97);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; }).get();
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_THROW(pool.submit([&counter] { ++counter; }), coloc::runtime_error);
+  EXPECT_EQ(counter.load(), 1) << "a rejected task must never run";
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), coloc::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    pool.shutdown();
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 32);
 }
 
 TEST(GlobalPool, IsSingleton) {
