@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <cctype>
 #include <cstdio>
 
 #include "common/log.hpp"
@@ -17,6 +18,11 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.quick = args.get_bool("quick", false);
   config.metrics_out = args.get("metrics-out", "");
   config.trace_out = args.get("trace-out", "");
+  config.fault_rate = args.get_double("fault-rate", config.fault_rate);
+  config.checkpoint = args.get("checkpoint", "");
+  config.checkpoint_every = static_cast<std::size_t>(args.get_int(
+      "checkpoint-every", static_cast<std::int64_t>(config.checkpoint_every)));
+  config.resume = args.get_bool("resume", false);
   if (!args.program().empty()) {
     const std::string& program = args.program();
     const auto slash = program.find_last_of('/');
@@ -39,6 +45,30 @@ obs::ObsOptions HarnessConfig::run_session() const {
   return options;
 }
 
+fault::FaultPlanConfig HarnessConfig::fault_plan() const {
+  fault::FaultPlanConfig plan = fault::FaultPlanConfig::from_env();
+  if (fault_rate >= 0.0) plan.rate = fault_rate;
+  return plan;
+}
+
+core::CampaignRobustness HarnessConfig::robustness(
+    const std::string& machine_name) const {
+  core::CampaignRobustness robust;
+  robust.retry = fault::RetryPolicy::from_env();
+  robust.checkpoint_every = checkpoint_every;
+  robust.resume = resume;
+  if (!checkpoint.empty()) {
+    std::string suffix;
+    for (char c : machine_name) {
+      suffix.push_back(std::isalnum(static_cast<unsigned char>(c))
+                           ? c
+                           : '-');
+    }
+    robust.checkpoint_path = checkpoint + "." + suffix + ".csv";
+  }
+  return robust;
+}
+
 core::EvaluationConfig HarnessConfig::evaluation() const {
   core::EvaluationConfig eval;
   eval.validation.partitions = partitions;
@@ -53,7 +83,8 @@ MachineExperiment::MachineExperiment(sim::MachineConfig machine,
                                      const HarnessConfig& config)
     : config_(config), machine_(std::move(machine)),
       simulator_(machine_, &library_,
-                 sim::MeasurementOptions{.seed = config.seed}) {
+                 sim::MeasurementOptions{.seed = config.seed}),
+      plan_(config.fault_plan()), injector_(simulator_, plan_) {
   COLOC_LOG_INFO << "profiling application traces for " << machine_.name;
   core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
   if (config_.quick) {
@@ -63,9 +94,16 @@ MachineExperiment::MachineExperiment(sim::MachineConfig machine,
   library_.profile_all(campaign_config.targets);
   COLOC_LOG_INFO << "running Table V collection campaign on "
                  << machine_.name;
-  campaign_ = core::run_campaign(simulator_, campaign_config);
+  if (plan_.enabled()) {
+    COLOC_LOG_INFO << "fault injection armed: rate "
+                   << plan_.config().rate << ", seed "
+                   << plan_.config().seed;
+  }
+  campaign_ = core::run_campaign(injector_, campaign_config,
+                                 config_.robustness(machine_.name));
   COLOC_LOG_INFO << "collected " << campaign_.dataset.num_rows()
-                 << " co-location measurements";
+                 << " co-location measurements; "
+                 << campaign_.completeness.summary();
 }
 
 core::EvaluationSuite MachineExperiment::evaluate(

@@ -7,6 +7,12 @@
 //   --metrics-out=FILE  write a metrics snapshot at exit (.json or text)
 //   --trace-out=FILE    write a chrome://tracing span file (+ CSV twin)
 //
+// Robustness flags (see the Robustness section in README.md):
+//   --fault-rate=P      inject faults at rate P (overrides COLOC_FAULT_RATE)
+//   --checkpoint=FILE   checkpoint campaign cells (per-machine suffix added)
+//   --checkpoint-every=N  cells between periodic checkpoint flushes
+//   --resume            load the checkpoint and skip measured cells
+//
 // Every bench main holds one obs::ObsSession built from run_session();
 // besides honoring the flags above it prints a machine-readable
 // "total_wall_time_s=... peak_rss_mb=..." cost line when the run ends.
@@ -16,8 +22,11 @@
 #include <string>
 
 #include "common/cli.hpp"
+#include "core/campaign.hpp"
 #include "core/methodology.hpp"
 #include "core/report.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/session.hpp"
 #include "sim/execution.hpp"
 
@@ -31,6 +40,10 @@ struct HarnessConfig {
   std::string metrics_out;  // --metrics-out
   std::string trace_out;    // --trace-out
   std::string program = "bench";
+  double fault_rate = -1.0;  // --fault-rate; < 0 defers to COLOC_FAULT_RATE
+  std::string checkpoint;    // --checkpoint; "" disables checkpointing
+  std::size_t checkpoint_every = 25;  // --checkpoint-every
+  bool resume = false;                // --resume
 
   static HarnessConfig from_cli(const CliArgs& args);
 
@@ -38,6 +51,14 @@ struct HarnessConfig {
 
   /// Observability options for this run (pass to obs::ObsSession).
   obs::ObsOptions run_session() const;
+
+  /// Fault plan for this run: COLOC_FAULT_* environment overridden by
+  /// --fault-rate when the flag was given.
+  fault::FaultPlanConfig fault_plan() const;
+
+  /// Campaign resilience knobs. The checkpoint path gets a sanitized
+  /// per-machine suffix so multi-machine benches never share state files.
+  core::CampaignRobustness robustness(const std::string& machine_name) const;
 };
 
 /// One machine's full pipeline: MRC profiling, Table V campaign, and the
@@ -64,6 +85,8 @@ class MachineExperiment {
   sim::MachineConfig machine_;
   sim::AppMrcLibrary library_;
   sim::Simulator simulator_;
+  fault::FaultPlan plan_;
+  fault::FaultInjector injector_;  // pass-through when the rate is zero
   core::CampaignResult campaign_;
 };
 

@@ -1,4 +1,4 @@
-// Quickstart: the whole methodology in ~80 lines.
+// Quickstart: the whole methodology in ~100 lines.
 //
 //   1. Describe a machine and a pair of applications.
 //   2. Profile each application ONCE, alone (baseline times + counters).
@@ -12,10 +12,19 @@
 // Observability flags (see the Observability section in README.md):
 //   --metrics-out m.json   dump the metrics registry at exit
 //   --trace-out t.json     dump spans for chrome://tracing (+ t.csv)
+//
+// Robustness flags (see the Robustness section in README.md):
+//   --fault-rate=P         inject measurement faults at rate P (also
+//                          settable via COLOC_FAULT_RATE)
+//   --checkpoint=FILE      checkpoint completed campaign cells to FILE
+//   --checkpoint-every=N   cells between periodic checkpoint flushes
+//   --resume               load FILE first and skip measured cells
 #include <cstdio>
 
 #include "common/cli.hpp"
 #include "core/methodology.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "obs/session.hpp"
 
 int main(int argc, char** argv) {
@@ -33,6 +42,23 @@ int main(int argc, char** argv) {
   sim::AppMrcLibrary library;
   sim::Simulator testbed(machine, &library);
 
+  // Faults come from COLOC_FAULT_* (chaos CI) or --fault-rate; with the
+  // default rate of zero the injector is a pass-through and the run is
+  // numerically identical to an unwrapped sweep.
+  fault::FaultPlanConfig fault_config = fault::FaultPlanConfig::from_env();
+  fault_config.rate = args.get_double("fault-rate", fault_config.rate);
+  const fault::FaultPlan plan(fault_config);
+  fault::FaultInjector source(testbed, plan);
+
+  core::CampaignRobustness robustness;
+  robustness.retry = fault::RetryPolicy::from_env();
+  robustness.checkpoint_path = args.get("checkpoint", "");
+  robustness.checkpoint_every = static_cast<std::size_t>(
+      args.get_int("checkpoint-every", 25));
+  robustness.resume = args.get_bool("resume", false);
+  robustness.abort_after_cells = static_cast<std::size_t>(
+      args.get_int("abort-after-cells", 0));
+
   // 2. Applications from the bundled 11-app PARSEC/NAS-style suite.
   const sim::ApplicationSpec canneal = sim::find_application("canneal");
   const sim::ApplicationSpec cg = sim::find_application("cg");
@@ -44,8 +70,9 @@ int main(int argc, char** argv) {
       core::CampaignConfig::paper_defaults();
   library.profile_all(campaign_config.targets);
   const core::CampaignResult campaign =
-      core::run_campaign(testbed, campaign_config);
+      core::run_campaign(source, campaign_config, robustness);
   std::printf("  %zu measurements collected\n", campaign.total_runs);
+  std::printf("  campaign %s\n", campaign.completeness.summary().c_str());
 
   core::ModelZooOptions zoo;
   zoo.mlp.max_iterations = 1200;

@@ -24,6 +24,59 @@ class runtime_error : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// How a failure relates to retrying. The resilient measurement layer
+/// (src/fault) keys its retry/quarantine decisions off this taxonomy; it is
+/// shared across layers so sim, counters, ml, and core agree on semantics.
+enum class ErrorClass {
+  /// Worth retrying: the fault is expected to clear on its own (perf-event
+  /// multiplexing dropped a sample, a co-runner burst, an injected glitch).
+  kTransient,
+  /// Retrying cannot help: bad configuration, missing hardware, an
+  /// exhausted retry budget. The caller must quarantine or abort.
+  kPermanent,
+  /// The operation "succeeded" but produced an unusable reading (NaN or
+  /// negative counters, implausible wall time). Retry with a fresh run.
+  kCorruptedData,
+};
+
+const char* to_string(ErrorClass cls);
+
+/// Base for errors that carry a retry-relevant classification.
+class classified_error : public runtime_error {
+ public:
+  classified_error(ErrorClass cls, const std::string& what)
+      : runtime_error(what), class_(cls) {}
+  ErrorClass error_class() const { return class_; }
+
+ private:
+  ErrorClass class_;
+};
+
+/// A profiling or co-location measurement failed. Thrown by the simulated
+/// testbed under fault injection, by the host counter backend, and by the
+/// reading validators in src/fault.
+class MeasurementError : public classified_error {
+ public:
+  using classified_error::classified_error;
+};
+
+/// Data failed an integrity check on ingestion (e.g. non-finite features
+/// offered to ml::Dataset). Always classified as corrupted data.
+class data_error : public classified_error {
+ public:
+  explicit data_error(const std::string& what)
+      : classified_error(ErrorClass::kCorruptedData, what) {}
+};
+
+inline const char* to_string(ErrorClass cls) {
+  switch (cls) {
+    case ErrorClass::kTransient: return "transient";
+    case ErrorClass::kPermanent: return "permanent";
+    case ErrorClass::kCorruptedData: return "corrupted-data";
+  }
+  return "unknown";
+}
+
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
                                              int line, const std::string& msg) {

@@ -32,7 +32,33 @@ double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
+
+thread_local const CancellationToken* t_current_token = nullptr;
 }  // namespace
+
+CancellationScope::CancellationScope(CancellationToken token)
+    : previous_(t_current_token), token_(std::move(token)) {
+  t_current_token = &token_;
+}
+
+CancellationScope::~CancellationScope() { t_current_token = previous_; }
+
+bool CancellationScope::current_cancelled() {
+  return t_current_token != nullptr && t_current_token->cancelled();
+}
+
+bool DeadlineTask::wait_until_deadline() {
+  if (future.wait_until(deadline) == std::future_status::ready) return true;
+  token.request_cancel();
+  return false;
+}
+
+void ThreadPool::throw_if_abandoned(const CancellationToken& token) {
+  if (token.cancelled()) {
+    throw coloc::runtime_error(
+        "task cancelled before it started (deadline expired in queue)");
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
+#include <span>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
@@ -51,15 +53,67 @@ std::string CampaignResult::tag_target(const std::string& tag) {
   return bar == std::string::npos ? tag : tag.substr(0, bar);
 }
 
-CampaignResult run_campaign(sim::Simulator& simulator,
-                            const CampaignConfig& config) {
+namespace {
+/// Shared per-cell bookkeeping for the collection loops below: measure
+/// through the runner (or take the row from the checkpoint), append to the
+/// dataset, and keep the checkpoint/metrics/progress in sync. Returns
+/// false when the cell was quarantined (no row emitted).
+struct CellCollector {
+  CampaignResult& result;
+  fault::ResilientRunner& runner;
+  fault::CampaignCheckpoint* checkpoint;
+  obs::Histogram& cell_seconds;
+  obs::ProgressReporter& progress;
+  std::size_t measured_cells = 0;
+
+  bool collect(const std::string& tag, std::span<const double> features,
+               double reference_time_s, obs::Counter& cells_metric,
+               const fault::ResilientRunner::MeasureFn& measure) {
+    obs::ScopedSpan cell_span("campaign/cell", "core");
+    const auto cell_start = std::chrono::steady_clock::now();
+
+    if (checkpoint != nullptr) {
+      if (const fault::CheckpointRow* row = checkpoint->find(tag)) {
+        // Completed in a previous run: replay the stored row verbatim.
+        result.dataset.add_row(row->features, row->target, tag);
+        ++result.total_runs;
+        runner.note_resumed_cell();
+        progress.tick();
+        return true;
+      }
+    }
+
+    const auto measurement = runner.measure_cell(tag, reference_time_s,
+                                                 measure);
+    progress.tick();
+    if (!measurement) return false;  // quarantined; reported, no row
+
+    result.dataset.add_row(features, measurement->execution_time_s, tag);
+    ++result.total_runs;
+    ++measured_cells;
+    if (checkpoint != nullptr) {
+      checkpoint->record(tag, features, measurement->execution_time_s);
+    }
+    cells_metric.inc();
+    cell_seconds.observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      cell_start)
+            .count());
+    return true;
+  }
+};
+}  // namespace
+
+CampaignResult run_campaign(sim::MeasurementSource& source,
+                            const CampaignConfig& config,
+                            const CampaignRobustness& robustness) {
   COLOC_CHECK_MSG(!config.targets.empty(), "campaign needs target apps");
   COLOC_CHECK_MSG(!config.coapps.empty(), "campaign needs co-runner apps");
 
   obs::ScopedSpan campaign_span("campaign", "core");
   CampaignMetrics& metrics = CampaignMetrics::get();
 
-  const sim::MachineConfig& machine = simulator.machine();
+  const sim::MachineConfig& machine = source.machine();
 
   std::vector<std::size_t> counts = config.colocation_counts;
   if (counts.empty()) {
@@ -79,6 +133,16 @@ CampaignResult run_campaign(sim::Simulator& simulator,
   CampaignResult result;
   result.dataset = ml::Dataset(feature_names(), "colocExTime");
 
+  fault::ResilientRunner runner(robustness.retry, robustness.bounds);
+
+  std::unique_ptr<fault::CampaignCheckpoint> checkpoint;
+  if (!robustness.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<fault::CampaignCheckpoint>(
+        robustness.checkpoint_path, feature_names(), "colocExTime",
+        robustness.checkpoint_every);
+    if (robustness.resume) checkpoint->load();
+  }
+
   // Baselines for every application that appears as target or co-runner.
   std::vector<sim::ApplicationSpec> all_apps = config.targets;
   for (const auto& co : config.coapps) {
@@ -89,8 +153,8 @@ CampaignResult run_campaign(sim::Simulator& simulator,
   }
   {
     obs::ScopedSpan baseline_span("campaign/baselines", "core");
-    result.baselines = collect_baselines(simulator, all_apps);
-    metrics.baselines.inc(all_apps.size());
+    result.baselines = collect_baselines(source, all_apps, &runner);
+    metrics.baselines.inc(result.baselines.size());
   }
 
   // One progress unit per campaign cell (a dataset row).
@@ -100,56 +164,78 @@ CampaignResult run_campaign(sim::Simulator& simulator,
       "campaign " + machine.name,
       pstates.size() * config.targets.size() * cells_per_target);
 
+  CellCollector collector{result, runner, checkpoint.get(),
+                          metrics.cell_seconds, progress};
+
+  // An application whose baseline was quarantined has no feature vector;
+  // every cell involving it is skipped and accounted as quarantined.
+  auto baseline_missing = [&](const std::string& app, const std::string& tag) {
+    if (result.baselines.count(app) != 0) return false;
+    runner.note_skipped_cell(tag, "baseline quarantined for " + app);
+    progress.tick();
+    return true;
+  };
+
+  auto maybe_abort = [&] {
+    if (robustness.abort_after_cells == 0) return;
+    if (collector.measured_cells < robustness.abort_after_cells) return;
+    if (checkpoint != nullptr) checkpoint->flush();
+    throw coloc::runtime_error(
+        "campaign aborted after " +
+        std::to_string(collector.measured_cells) +
+        " measured cells (abort_after_cells test hook)");
+  };
+
   // The nested collection loops of Table V.
   for (std::size_t p : pstates) {
     for (const auto& target : config.targets) {
-      const BaselineProfile& target_baseline =
-          result.baselines.at(target.name);
-
       if (config.include_alone_rows) {
-        obs::ScopedSpan cell_span("campaign/cell", "core");
-        const auto cell_start = std::chrono::steady_clock::now();
-        const auto features = compute_features(target_baseline, {}, p);
-        const sim::RunMeasurement alone = simulator.run_alone(target, p, 1);
-        result.dataset.add_row(
-            features, alone.execution_time_s,
-            CampaignResult::make_tag(target.name, "-", 0, p));
-        ++result.total_runs;
-        metrics.cells_alone.inc();
-        metrics.cell_seconds.observe(
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          cell_start)
-                .count());
-        progress.tick();
+        const std::string tag = CampaignResult::make_tag(target.name, "-",
+                                                         0, p);
+        if (!baseline_missing(target.name, tag)) {
+          const BaselineProfile& target_baseline =
+              result.baselines.at(target.name);
+          const auto features = compute_features(target_baseline, {}, p);
+          collector.collect(tag, features, target_baseline.time_at(p),
+                            metrics.cells_alone,
+                            [&](std::uint64_t attempt) {
+                              return source.run_alone(target, p, attempt + 1);
+                            });
+          maybe_abort();
+        }
       }
 
       for (const auto& coapp : config.coapps) {
-        const BaselineProfile& co_baseline = result.baselines.at(coapp.name);
         for (std::size_t count : counts) {
-          obs::ScopedSpan cell_span("campaign/cell", "core");
-          const auto cell_start = std::chrono::steady_clock::now();
+          const std::string tag = CampaignResult::make_tag(
+              target.name, coapp.name, count, p);
+          if (baseline_missing(target.name, tag) ||
+              baseline_missing(coapp.name, tag)) {
+            continue;
+          }
+          const BaselineProfile& target_baseline =
+              result.baselines.at(target.name);
+          const BaselineProfile& co_baseline =
+              result.baselines.at(coapp.name);
           const std::vector<sim::ApplicationSpec> copies(count, coapp);
-          const sim::RunMeasurement m =
-              simulator.run_colocated(target, copies, p);
-
           const std::vector<const BaselineProfile*> co_profiles(
               count, &co_baseline);
           const auto features =
               compute_features(target_baseline, co_profiles, p);
-          result.dataset.add_row(
-              features, m.execution_time_s,
-              CampaignResult::make_tag(target.name, coapp.name, count, p));
-          ++result.total_runs;
-          metrics.cells_colocated.inc();
-          metrics.cell_seconds.observe(
-              std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - cell_start)
-                  .count());
-          progress.tick();
+          collector.collect(tag, features, target_baseline.time_at(p),
+                            metrics.cells_colocated,
+                            [&](std::uint64_t attempt) {
+                              return source.run_colocated(target, copies, p,
+                                                          attempt);
+                            });
+          maybe_abort();
         }
       }
     }
   }
+
+  if (checkpoint != nullptr) checkpoint->flush();
+  result.completeness = runner.report();
   return result;
 }
 

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "core/features.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/resilient_runner.hpp"
 #include "ml/dataset.hpp"
 #include "sim/execution.hpp"
 
@@ -39,10 +41,31 @@ struct CampaignConfig {
   static CampaignConfig paper_defaults();
 };
 
+/// Resilience knobs for a campaign. The defaults (retries under a deadline,
+/// no checkpointing) are numerically identical to a plain sweep against a
+/// healthy measurement source: a first attempt uses repetition 0, exactly
+/// as the unwrapped loops did.
+struct CampaignRobustness {
+  fault::RetryPolicy retry;
+  fault::PlausibilityBounds bounds;
+  /// CSV state file for completed cells ("" disables checkpointing).
+  std::string checkpoint_path;
+  /// Cells between periodic checkpoint flushes (a final flush always runs).
+  std::size_t checkpoint_every = 25;
+  /// Load checkpoint_path first and skip already-measured tags.
+  bool resume = false;
+  /// Test hook simulating a crash: after this many measured (not resumed)
+  /// cells the campaign flushes its checkpoint and throws. 0 = never.
+  std::size_t abort_after_cells = 0;
+};
+
 struct CampaignResult {
   ml::Dataset dataset;  // 8 features + co-located execution time + tag
   BaselineLibrary baselines;
   std::size_t total_runs = 0;
+  /// Attempt/retry/quarantine accounting for the whole sweep (baseline
+  /// pass included). completeness() < 1 means the dataset has holes.
+  fault::CompletenessReport completeness;
 
   /// Tag format: "<target>|<coapp>|x<count>|p<pstate>".
   static std::string make_tag(const std::string& target,
@@ -52,10 +75,16 @@ struct CampaignResult {
   static std::string tag_target(const std::string& tag);
 };
 
-/// Runs the full campaign on one simulated machine. Baselines are collected
-/// first (one run-alone pass per app per P-state), then every co-location
-/// cell is measured once, exactly like the paper's collection code.
-CampaignResult run_campaign(sim::Simulator& simulator,
-                            const CampaignConfig& config);
+/// Runs the full campaign on one measurement source (a simulated machine,
+/// or any decorated stack such as a fault::FaultInjector). Baselines are
+/// collected first (one run-alone pass per app per P-state), then every
+/// co-location cell is measured once, exactly like the paper's collection
+/// code — but each measurement runs through a fault::ResilientRunner, so
+/// flaky cells are retried with backoff and exhausted cells are
+/// quarantined (dropped from the dataset, listed in the report) instead of
+/// aborting the sweep.
+CampaignResult run_campaign(sim::MeasurementSource& source,
+                            const CampaignConfig& config,
+                            const CampaignRobustness& robustness = {});
 
 }  // namespace coloc::core

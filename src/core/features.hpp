@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/resilient_runner.hpp"
 #include "sim/execution.hpp"
 
 namespace coloc::core {
@@ -59,13 +60,24 @@ struct BaselineProfile {
 /// P-state, recording times and counter ratios (ratios from the highest
 /// P-state run; they are frequency-invariant in both the simulator and on
 /// real hardware to first order).
-BaselineProfile collect_baseline(sim::Simulator& simulator,
-                                 const sim::ApplicationSpec& app);
+///
+/// With a ResilientRunner, every per-P-state measurement runs under that
+/// runner's deadline/retry/validation policy; if any P-state exhausts its
+/// retry budget the whole profile is unusable and MeasurementError
+/// (kPermanent) is thrown — collect_baselines() turns that into a skipped
+/// application instead of an aborted pass.
+BaselineProfile collect_baseline(sim::MeasurementSource& source,
+                                 const sim::ApplicationSpec& app,
+                                 fault::ResilientRunner* runner = nullptr);
 
-/// Baselines for a whole application set, keyed by name.
+/// Baselines for a whole application set, keyed by name. With a runner,
+/// applications whose baseline is quarantined are left out of the library
+/// (the campaign then skips their cells) rather than failing the pass.
 using BaselineLibrary = std::map<std::string, BaselineProfile>;
 BaselineLibrary collect_baselines(
-    sim::Simulator& simulator, const std::vector<sim::ApplicationSpec>& apps);
+    sim::MeasurementSource& source,
+    const std::vector<sim::ApplicationSpec>& apps,
+    fault::ResilientRunner* runner = nullptr);
 
 /// Assembles the 8-entry Table I feature vector for a co-location scenario:
 /// `target` co-located with the profiles in `coapps` (one entry per

@@ -1,0 +1,130 @@
+#include "fault/checkpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace coloc::fault {
+
+namespace {
+struct CheckpointMetrics {
+  obs::Counter& writes;
+  obs::Counter& rows_loaded;
+
+  static CheckpointMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static CheckpointMetrics metrics{
+        registry.counter("checkpoint_writes_total"),
+        registry.counter("checkpoint_rows_loaded_total"),
+    };
+    return metrics;
+  }
+};
+
+std::string format_double(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  return buffer;
+}
+}  // namespace
+
+CampaignCheckpoint::CampaignCheckpoint(std::string path,
+                                       std::vector<std::string> feature_names,
+                                       std::string target_name,
+                                       std::size_t flush_every)
+    : path_(std::move(path)), feature_names_(std::move(feature_names)),
+      target_name_(std::move(target_name)), flush_every_(flush_every) {
+  COLOC_CHECK_MSG(!path_.empty(), "checkpoint needs a path");
+  COLOC_CHECK_MSG(!feature_names_.empty(), "checkpoint needs feature names");
+}
+
+const CheckpointRow* CampaignCheckpoint::find(const std::string& tag) const {
+  const auto it = rows_.find(tag);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+std::size_t CampaignCheckpoint::load() {
+  std::ifstream is(path_);
+  if (!is) return 0;  // no previous state: fresh run
+  const CsvTable table = CsvTable::parse(is);
+
+  std::vector<std::string> expected = {"tag", target_name_};
+  expected.insert(expected.end(), feature_names_.begin(),
+                  feature_names_.end());
+  if (table.header() != expected) {
+    throw data_error("checkpoint " + path_ +
+                     " has a mismatched header; refusing to resume an "
+                     "incompatible campaign");
+  }
+
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    CheckpointRow row;
+    row.target = table.at_double(r, 1);
+    row.features.reserve(feature_names_.size());
+    for (std::size_t c = 0; c < feature_names_.size(); ++c) {
+      row.features.push_back(table.at_double(r, c + 2));
+    }
+    if (!std::isfinite(row.target)) {
+      throw data_error("checkpoint " + path_ + " row " + std::to_string(r) +
+                       " has a non-finite target");
+    }
+    rows_[table.at(r, 0)] = std::move(row);
+  }
+  CheckpointMetrics::get().rows_loaded.inc(table.num_rows());
+  COLOC_LOG_INFO << "resumed " << rows_.size() << " completed cells from "
+                 << path_;
+  return rows_.size();
+}
+
+void CampaignCheckpoint::record(const std::string& tag,
+                                std::span<const double> features,
+                                double target) {
+  COLOC_CHECK_MSG(features.size() == feature_names_.size(),
+                  "checkpoint feature width mismatch");
+  CheckpointRow row;
+  row.target = target;
+  row.features.assign(features.begin(), features.end());
+  rows_[tag] = std::move(row);
+  if (flush_every_ > 0 && ++dirty_ >= flush_every_) flush();
+}
+
+void CampaignCheckpoint::flush() {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+      throw coloc::runtime_error("cannot open checkpoint temp file " + tmp);
+    }
+    os << "tag," << csv_escape(target_name_);
+    for (const auto& name : feature_names_) os << ',' << csv_escape(name);
+    os << '\n';
+    for (const auto& [tag, row] : rows_) {
+      os << csv_escape(tag) << ',' << format_double(row.target);
+      for (double v : row.features) os << ',' << format_double(v);
+      os << '\n';
+    }
+    os.flush();
+    if (!os) {
+      throw coloc::runtime_error("failed writing checkpoint temp file " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    throw coloc::runtime_error("cannot rename " + tmp + " over " + path_ +
+                               ": " + ec.message());
+  }
+  dirty_ = 0;
+  CheckpointMetrics::get().writes.inc();
+}
+
+}  // namespace coloc::fault

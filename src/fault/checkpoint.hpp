@@ -1,0 +1,65 @@
+// Atomic campaign checkpointing: completed cells are periodically flushed
+// to a CSV state file (write-temp-then-rename), and a resumed campaign
+// loads the file and skips already-measured tags.
+//
+// File format — one header plus one row per completed cell:
+//
+//   tag,<target column name>,<feature names...>
+//   canneal|cg|x4|p0,279.41...,93.13...,4,...
+//
+// Doubles are serialized with max_digits10 precision so a value survives a
+// round trip bit for bit; that is what makes a resumed campaign's final
+// dataset byte-identical to an uninterrupted run's.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace coloc::fault {
+
+struct CheckpointRow {
+  double target = 0.0;
+  std::vector<double> features;
+};
+
+class CampaignCheckpoint {
+ public:
+  /// `flush_every` = 0 disables periodic flushing (final flush() only).
+  CampaignCheckpoint(std::string path, std::vector<std::string> feature_names,
+                     std::string target_name, std::size_t flush_every = 25);
+
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return rows_.size(); }
+
+  /// Loads a previous run's state from path(). A missing file is an empty
+  /// checkpoint (returns 0); a present file with a mismatched header (wrong
+  /// feature set or target) throws coloc::data_error rather than silently
+  /// resuming an incompatible sweep.
+  std::size_t load();
+
+  bool has(const std::string& tag) const { return rows_.count(tag) != 0; }
+  /// nullptr when the tag is not checkpointed.
+  const CheckpointRow* find(const std::string& tag) const;
+
+  /// Records one completed cell and flushes if the period elapsed.
+  void record(const std::string& tag, std::span<const double> features,
+              double target);
+
+  /// Writes the whole state atomically: serialize to path() + ".tmp", then
+  /// rename over path(). A crash mid-write leaves the previous checkpoint
+  /// intact. Throws coloc::runtime_error on I/O failure.
+  void flush();
+
+ private:
+  std::string path_;
+  std::vector<std::string> feature_names_;
+  std::string target_name_;
+  std::size_t flush_every_;
+  std::size_t dirty_ = 0;  // rows recorded since the last flush
+  std::map<std::string, CheckpointRow> rows_;
+};
+
+}  // namespace coloc::fault

@@ -1,0 +1,67 @@
+// Fault-injecting decorators for the two measurement backends.
+//
+// FaultInjector wraps any sim::MeasurementSource and applies the FaultPlan
+// on every run: throwing transient MeasurementErrors, corrupting readings,
+// scaling wall time into outlier territory, or hanging until the cell's
+// cancellation token fires. The wrapped source is never consulted about
+// the injection, so the same plan replays against any backend.
+//
+// profile_kernel_resilient wraps counters::HostProfiler the same way for
+// the real-hardware baseline path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "counters/host_profiler.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::fault {
+
+class FaultInjector : public sim::MeasurementSource {
+ public:
+  /// Neither reference is owned; both must outlive the injector.
+  FaultInjector(sim::MeasurementSource& inner, const FaultPlan& plan);
+
+  const sim::MachineConfig& machine() const override {
+    return inner_.machine();
+  }
+
+  sim::RunMeasurement run_alone(const sim::ApplicationSpec& app,
+                                std::size_t pstate_index,
+                                std::uint64_t repetition = 0) override;
+
+  sim::RunMeasurement run_colocated(
+      const sim::ApplicationSpec& target,
+      const std::vector<sim::ApplicationSpec>& coapps,
+      std::size_t pstate_index, std::uint64_t repetition = 0) override;
+
+  /// Total faults this injector has fired, by kind (also exported through
+  /// the obs registry as fault_injected_total{kind=...}).
+  std::uint64_t injected(FaultKind kind) const;
+
+ private:
+  template <typename MeasureFn>
+  sim::RunMeasurement inject(const std::string& cell_key, MeasurePhase phase,
+                             std::uint64_t attempt, MeasureFn&& measure);
+  void note(FaultKind kind);
+  void corrupt(const std::string& cell_key, std::uint64_t attempt,
+               sim::RunMeasurement& m) const;
+  void hang() const;
+
+  sim::MeasurementSource& inner_;
+  const FaultPlan& plan_;
+  std::uint64_t injected_by_kind_[5] = {};
+};
+
+/// Fault-aware host profiling: wraps counters::profile_kernel with the
+/// plan (baseline phase) and validates the reading. Returns nullopt when
+/// counters are unavailable; throws MeasurementError on an injected or
+/// real fault, for the caller's ResilientRunner to absorb.
+std::optional<counters::HostBaseline> profile_kernel_resilient(
+    const counters::MicrobenchSpec& spec, const FaultPlan& plan,
+    std::uint64_t attempt = 0);
+
+}  // namespace coloc::fault

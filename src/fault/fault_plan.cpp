@@ -1,0 +1,162 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace coloc::fault {
+
+namespace {
+const char* env_or_null(const char* name) { return std::getenv(name); }
+
+double env_double(const char* name, double fallback) {
+  const char* raw = env_or_null(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  if (end == raw || *end != '\0') {
+    throw invalid_argument_error(std::string(name) + ": cannot parse '" +
+                                 raw + "' as a number");
+  }
+  return value;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = env_or_null(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') {
+    throw invalid_argument_error(std::string(name) + ": cannot parse '" +
+                                 raw + "' as an integer");
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+std::vector<std::string_view> split_csv(std::string_view spec) {
+  std::vector<std::string_view> out;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    while (!item.empty() && item.front() == ' ') item.remove_prefix(1);
+    while (!item.empty() && item.back() == ' ') item.remove_suffix(1);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string_view::npos) break;
+    spec.remove_prefix(comma + 1);
+  }
+  return out;
+}
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kCorruptedReading: return "corrupt";
+    case FaultKind::kOutlierNoise: return "outlier";
+    case FaultKind::kHang: return "hang";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> parse_fault_kinds(std::string_view spec) {
+  std::vector<FaultKind> kinds;
+  for (std::string_view item : split_csv(spec)) {
+    if (item == "transient") {
+      kinds.push_back(FaultKind::kTransient);
+    } else if (item == "corrupt" || item == "corrupted") {
+      kinds.push_back(FaultKind::kCorruptedReading);
+    } else if (item == "outlier") {
+      kinds.push_back(FaultKind::kOutlierNoise);
+    } else if (item == "hang") {
+      kinds.push_back(FaultKind::kHang);
+    } else {
+      throw invalid_argument_error("unknown fault kind: '" +
+                                   std::string(item) + "'");
+    }
+  }
+  return kinds;
+}
+
+FaultPlanConfig FaultPlanConfig::from_env() {
+  FaultPlanConfig config;
+  config.rate = env_double("COLOC_FAULT_RATE", config.rate);
+  if (config.rate < 0.0 || config.rate > 1.0) {
+    throw invalid_argument_error("COLOC_FAULT_RATE must be in [0, 1]");
+  }
+  config.seed = env_u64("COLOC_FAULT_SEED", config.seed);
+  if (const char* kinds = env_or_null("COLOC_FAULT_KINDS")) {
+    config.kinds = parse_fault_kinds(kinds);
+  }
+  if (const char* phases = env_or_null("COLOC_FAULT_PHASES")) {
+    config.inject_baseline = false;
+    config.inject_campaign = false;
+    for (std::string_view item : split_csv(phases)) {
+      if (item == "baseline") {
+        config.inject_baseline = true;
+      } else if (item == "campaign") {
+        config.inject_campaign = true;
+      } else {
+        throw invalid_argument_error("unknown fault phase: '" +
+                                     std::string(item) + "'");
+      }
+    }
+  }
+  config.hang_cap_ms = env_double("COLOC_FAULT_HANG_MS", config.hang_cap_ms);
+  return config;
+}
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : config_(std::move(config)) {
+  COLOC_CHECK_MSG(config_.rate >= 0.0 && config_.rate <= 1.0,
+                  "fault rate must be in [0, 1]");
+  COLOC_CHECK_MSG(config_.outlier_min_factor > 1.0 &&
+                      config_.outlier_max_factor >= config_.outlier_min_factor,
+                  "outlier factor range must be > 1 and ordered");
+  enabled_kinds_ = config_.kinds;
+  if (enabled_kinds_.empty()) {
+    enabled_kinds_ = {FaultKind::kTransient, FaultKind::kCorruptedReading,
+                      FaultKind::kOutlierNoise};
+  }
+}
+
+std::uint64_t FaultPlan::mix(std::string_view cell_key, std::uint64_t attempt,
+                             std::uint64_t salt) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ config_.seed;
+  for (char c : cell_key) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;  // FNV-1a step
+  }
+  h ^= attempt * 0x9e3779b97f4a7c15ULL;
+  h ^= salt * 0x2545f4914f6cdd1dULL;
+  return splitmix64(h);
+}
+
+FaultKind FaultPlan::decide(std::string_view cell_key, std::uint64_t attempt,
+                            MeasurePhase phase) const {
+  if (!enabled()) return FaultKind::kNone;
+  if (phase == MeasurePhase::kBaseline && !config_.inject_baseline)
+    return FaultKind::kNone;
+  if (phase == MeasurePhase::kCampaign && !config_.inject_campaign)
+    return FaultKind::kNone;
+  Rng rng(mix(cell_key, attempt, 0x1));
+  if (!rng.bernoulli(config_.rate)) return FaultKind::kNone;
+  return enabled_kinds_[rng.uniform_index(enabled_kinds_.size())];
+}
+
+double FaultPlan::outlier_factor(std::string_view cell_key,
+                                 std::uint64_t attempt) const {
+  Rng rng(mix(cell_key, attempt, 0x2));
+  return rng.uniform(config_.outlier_min_factor, config_.outlier_max_factor);
+}
+
+std::uint64_t FaultPlan::corruption_variant(std::string_view cell_key,
+                                            std::uint64_t attempt,
+                                            std::uint64_t n) const {
+  COLOC_CHECK_MSG(n > 0, "variant count must be positive");
+  Rng rng(mix(cell_key, attempt, 0x3));
+  return rng.uniform_index(n);
+}
+
+}  // namespace coloc::fault

@@ -1,0 +1,221 @@
+#include "fault/resilient_runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace coloc::fault {
+
+namespace {
+struct RunnerMetrics {
+  obs::Counter& cells_ok;
+  obs::Counter& cells_quarantined;
+  obs::Counter& cells_resumed;
+  obs::Counter& retries;
+  obs::Counter& deadline_overruns;
+  obs::Histogram& attempts_per_cell;
+  obs::Histogram& backoff_seconds;
+
+  static RunnerMetrics& get() {
+    auto& registry = obs::Registry::global();
+    static RunnerMetrics metrics{
+        registry.counter("resilient_cells_total", {{"result", "ok"}}),
+        registry.counter("resilient_cells_total", {{"result", "quarantined"}}),
+        registry.counter("resilient_cells_total", {{"result", "resumed"}}),
+        registry.counter("resilient_retries_total"),
+        registry.counter("resilient_deadline_overruns_total"),
+        registry.histogram("resilient_attempts_per_cell"),
+        registry.histogram("resilient_backoff_seconds"),
+    };
+    return metrics;
+  }
+};
+
+double env_double_or(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end == raw || *end != '\0') ? fallback : value;
+}
+}  // namespace
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy policy;
+  policy.deadline_ms =
+      env_double_or("COLOC_CELL_DEADLINE_MS", policy.deadline_ms);
+  policy.max_attempts = static_cast<std::size_t>(env_double_or(
+      "COLOC_MAX_ATTEMPTS", static_cast<double>(policy.max_attempts)));
+  return policy;
+}
+
+void validate_measurement(const sim::RunMeasurement& m,
+                          double reference_time_s,
+                          const PlausibilityBounds& bounds) {
+  if (!std::isfinite(m.execution_time_s) || m.execution_time_s <= 0.0) {
+    throw MeasurementError(ErrorClass::kCorruptedData,
+                           "non-finite or non-positive wall time");
+  }
+  for (std::size_t e = 0; e < sim::kNumPresetEvents; ++e) {
+    const double v = m.counters.get(static_cast<sim::PresetEvent>(e));
+    if (!std::isfinite(v) || v < 0.0) {
+      throw MeasurementError(
+          ErrorClass::kCorruptedData,
+          "counter " + to_string(static_cast<sim::PresetEvent>(e)) +
+              " reads non-finite or negative");
+    }
+  }
+  if (m.counters.get(sim::PresetEvent::kTotalInstructions) <= 0.0) {
+    throw MeasurementError(ErrorClass::kCorruptedData,
+                           "zero instruction count (starved event group)");
+  }
+  if (reference_time_s > 0.0) {
+    const double slowdown = m.execution_time_s / reference_time_s;
+    if (slowdown < bounds.min_slowdown || slowdown > bounds.max_slowdown) {
+      std::ostringstream os;
+      os << "implausible slowdown " << slowdown << " vs reference (bounds "
+         << bounds.min_slowdown << ".." << bounds.max_slowdown << ")";
+      throw MeasurementError(ErrorClass::kCorruptedData, os.str());
+    }
+  }
+}
+
+double CompletenessReport::completeness() const {
+  return cells_attempted == 0
+             ? 1.0
+             : static_cast<double>(cells_ok + cells_resumed) /
+                   static_cast<double>(cells_attempted);
+}
+
+std::string CompletenessReport::summary() const {
+  std::ostringstream os;
+  os << "completeness " << 100.0 * completeness() << "% (" << cells_ok
+     << " measured, " << cells_resumed << " resumed, " << cells_quarantined
+     << " quarantined of " << cells_attempted << " cells); " << retries
+     << " retries, " << transient_faults << " transient faults, "
+     << corrupted_readings << " corrupted readings, " << deadline_overruns
+     << " deadline overruns";
+  return os.str();
+}
+
+ResilientRunner::ResilientRunner(RetryPolicy policy, PlausibilityBounds bounds)
+    : policy_(policy), bounds_(bounds), pool_(2) {
+  COLOC_CHECK_MSG(policy_.max_attempts > 0, "need at least one attempt");
+  COLOC_CHECK_MSG(policy_.deadline_ms > 0.0, "deadline must be positive");
+}
+
+double ResilientRunner::backoff_ms(const std::string& tag,
+                                   std::size_t attempt) const {
+  double delay = policy_.base_backoff_ms;
+  for (std::size_t i = 0; i < attempt; ++i) {
+    delay = std::min(delay * policy_.backoff_multiplier,
+                     policy_.max_backoff_ms);
+  }
+  std::uint64_t h = policy_.jitter_seed;
+  for (char c : tag) h = h * 0x100000001b3ULL + static_cast<unsigned char>(c);
+  h ^= attempt * 0x9e3779b97f4a7c15ULL;
+  Rng rng(splitmix64(h));
+  return delay * rng.uniform(1.0 - policy_.jitter, 1.0 + policy_.jitter);
+}
+
+void ResilientRunner::note_resumed_cell() {
+  ++report_.cells_attempted;
+  ++report_.cells_resumed;
+  RunnerMetrics::get().cells_resumed.inc();
+}
+
+void ResilientRunner::note_skipped_cell(const std::string& tag,
+                                        const std::string& reason) {
+  ++report_.cells_attempted;
+  ++report_.cells_quarantined;
+  RunnerMetrics::get().cells_quarantined.inc();
+  report_.quarantined.push_back(QuarantinedCell{tag, reason, 0});
+}
+
+std::optional<sim::RunMeasurement> ResilientRunner::measure_cell(
+    const std::string& tag, double reference_time_s,
+    const MeasureFn& measure) {
+  obs::ScopedSpan cell_span("resilient/cell", "fault");
+  RunnerMetrics& metrics = RunnerMetrics::get();
+  ++report_.cells_attempted;
+
+  std::string last_reason = "unknown";
+  std::size_t attempt = 0;
+  for (; attempt < policy_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++report_.retries;
+      metrics.retries.inc();
+      const double delay_ms = backoff_ms(tag, attempt - 1);
+      metrics.backoff_seconds.observe(delay_ms / 1e3);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+
+    obs::ScopedSpan attempt_span("resilient/attempt", "fault");
+    // Per-attempt result storage shared with the task: an abandoned
+    // (overrun) attempt may still be writing while we move on, so it must
+    // never share storage with a later attempt.
+    auto result = std::make_shared<sim::RunMeasurement>();
+    DeadlineTask task = pool_.submit_with_deadline(
+        [result, &measure, attempt](const CancellationToken&) {
+          *result = measure(attempt);
+        },
+        std::chrono::milliseconds(
+            static_cast<std::int64_t>(policy_.deadline_ms)));
+
+    if (!task.wait_until_deadline()) {
+      ++report_.deadline_overruns;
+      metrics.deadline_overruns.inc();
+      last_reason = "deadline overrun (" + std::to_string(policy_.deadline_ms) +
+                    " ms)";
+      continue;
+    }
+
+    try {
+      task.future.get();
+      validate_measurement(*result, reference_time_s, bounds_);
+    } catch (const classified_error& e) {
+      last_reason = e.what();
+      if (e.error_class() == ErrorClass::kPermanent) break;
+      if (e.error_class() == ErrorClass::kCorruptedData) {
+        ++report_.corrupted_readings;
+      } else {
+        ++report_.transient_faults;
+      }
+      continue;
+    } catch (const std::exception& e) {
+      // Unknown exceptions carry no retry semantics: fail the cell now.
+      last_reason = e.what();
+      break;
+    }
+
+    ++report_.cells_ok;
+    metrics.cells_ok.inc();
+    metrics.attempts_per_cell.observe(static_cast<double>(attempt + 1));
+    return *result;
+  }
+
+  ++report_.cells_quarantined;
+  metrics.cells_quarantined.inc();
+  metrics.attempts_per_cell.observe(static_cast<double>(
+      std::min(attempt + 1, policy_.max_attempts)));
+  report_.quarantined.push_back(
+      QuarantinedCell{tag, last_reason, std::min(attempt + 1,
+                                                 policy_.max_attempts)});
+  COLOC_LOG_WARN << "quarantined cell " << tag << " after "
+                 << report_.quarantined.back().attempts
+                 << " attempts: " << last_reason;
+  return std::nullopt;
+}
+
+}  // namespace coloc::fault

@@ -1,0 +1,126 @@
+// ResilientRunner: executes one measurement cell at a time under a
+// deadline, validates the reading, retries transient/corrupted failures
+// with capped exponential backoff + deterministic jitter, and quarantines
+// cells that exhaust their attempt budget — so a long collection campaign
+// degrades gracefully instead of aborting on the first flaky counter.
+//
+// Retry decisions follow the ErrorClass taxonomy in common/error.hpp:
+//   kTransient      retry after backoff
+//   kCorruptedData  retry after backoff (a fresh run re-reads the counters)
+//   kPermanent      quarantine immediately; retrying cannot help
+// Any other exception type is treated as permanent.
+//
+// All behavior is deterministic for a fixed configuration: backoff jitter
+// is derived from (tag, attempt), and the attempt number is forwarded to
+// the measurement closure as the repetition seed, so an interrupted
+// campaign resumed from a checkpoint reproduces the uninterrupted dataset
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::fault {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 4;
+  double base_backoff_ms = 2.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 250.0;
+  /// Backoff is scaled by a factor uniform in [1 - jitter, 1 + jitter],
+  /// drawn deterministically from (seed, tag, attempt).
+  double jitter = 0.5;
+  std::uint64_t jitter_seed = 77;
+  /// Per-attempt completion deadline. A cell that overruns is cancelled
+  /// (cooperatively) and the overrun is treated as a transient fault.
+  double deadline_ms = 2000.0;
+
+  /// Honors COLOC_CELL_DEADLINE_MS and COLOC_MAX_ATTEMPTS when set.
+  static RetryPolicy from_env();
+};
+
+/// Sanity bounds for a reading measured against a reference (usually the
+/// target's run-alone baseline at the same P-state).
+struct PlausibilityBounds {
+  /// Accepted range for measured_time / reference_time. Co-location can
+  /// only slow the target down, but noise allows slightly-below-1 ratios;
+  /// the upper bound sits above any real slowdown yet far below the
+  /// injected outlier factors.
+  double min_slowdown = 0.5;
+  double max_slowdown = 20.0;
+};
+
+/// Validates one reading: finite positive wall time, finite non-negative
+/// counters, positive instruction count, and (when reference_time_s > 0)
+/// the plausibility ratio. Throws MeasurementError(kCorruptedData).
+void validate_measurement(const sim::RunMeasurement& m,
+                          double reference_time_s,
+                          const PlausibilityBounds& bounds);
+
+struct QuarantinedCell {
+  std::string tag;
+  std::string reason;    // last failure before giving up
+  std::size_t attempts = 0;
+};
+
+/// What actually happened during a resilient pass: attempts, faults, and
+/// the quarantine list. Campaigns attach this to their result so callers
+/// can judge dataset completeness instead of discovering holes later.
+struct CompletenessReport {
+  std::size_t cells_attempted = 0;
+  std::size_t cells_ok = 0;
+  std::size_t cells_quarantined = 0;
+  std::size_t cells_resumed = 0;  // skipped via checkpoint, not re-measured
+  std::uint64_t retries = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t corrupted_readings = 0;
+  std::uint64_t deadline_overruns = 0;
+  std::vector<QuarantinedCell> quarantined;
+
+  /// Fraction of attempted cells that produced a valid reading.
+  double completeness() const;
+  std::string summary() const;
+};
+
+class ResilientRunner {
+ public:
+  explicit ResilientRunner(RetryPolicy policy = {},
+                           PlausibilityBounds bounds = {});
+
+  /// The measurement closure; `attempt` doubles as the repetition seed so
+  /// retries draw fresh noise instead of replaying the failed run.
+  using MeasureFn = std::function<sim::RunMeasurement(std::uint64_t attempt)>;
+
+  /// Runs one cell to completion or quarantine. `reference_time_s` <= 0
+  /// disables the plausibility check (e.g. for the baseline pass, which
+  /// has no earlier reference). Returns nullopt when quarantined.
+  std::optional<sim::RunMeasurement> measure_cell(
+      const std::string& tag, double reference_time_s,
+      const MeasureFn& measure);
+
+  /// Records a cell satisfied from a checkpoint instead of a measurement.
+  void note_resumed_cell();
+
+  /// Records a cell quarantined without being attempted (e.g. its
+  /// application's baseline was itself quarantined).
+  void note_skipped_cell(const std::string& tag, const std::string& reason);
+
+  const CompletenessReport& report() const { return report_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  double backoff_ms(const std::string& tag, std::size_t attempt) const;
+
+  RetryPolicy policy_;
+  PlausibilityBounds bounds_;
+  ThreadPool pool_;
+  CompletenessReport report_;
+};
+
+}  // namespace coloc::fault

@@ -1,5 +1,6 @@
 #include "ml/dataset.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -18,9 +19,31 @@ void Dataset::add_row(std::span<const double> features, double target,
                       std::string tag) {
   COLOC_CHECK_MSG(features.size() == feature_names_.size(),
                   "feature width mismatch");
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (!std::isfinite(features[i])) {
+      throw data_error("row '" + tag + "': feature " + feature_names_[i] +
+                       " is not finite");
+    }
+  }
+  if (!std::isfinite(target)) {
+    throw data_error("row '" + tag + "': target " + target_name_ +
+                     " is not finite");
+  }
+  append_unchecked(features, target, std::move(tag));
+}
+
+void Dataset::append_unchecked(std::span<const double> features,
+                               double target, std::string tag) {
   values_.insert(values_.end(), features.begin(), features.end());
   targets_.push_back(target);
   tags_.push_back(std::move(tag));
+}
+
+bool Dataset::row_is_finite(std::size_t row) const {
+  for (double v : features(row)) {
+    if (!std::isfinite(v)) return false;
+  }
+  return std::isfinite(targets_[row]);
 }
 
 std::span<const double> Dataset::features(std::size_t row) const {
@@ -56,7 +79,9 @@ Dataset Dataset::subset(std::span<const std::size_t> rows) const {
   Dataset out(feature_names_, target_name_);
   for (std::size_t r : rows) {
     COLOC_CHECK(r < num_rows());
-    out.add_row(features(r), targets_[r], tags_[r]);
+    // Preserve rows verbatim, including non-finite ones a kKeep load let
+    // in: subsetting must not be stricter than the source dataset.
+    out.append_unchecked(features(r), targets_[r], tags_[r]);
   }
   return out;
 }
@@ -84,7 +109,8 @@ CsvTable Dataset::to_csv() const {
 }
 
 Dataset Dataset::from_csv(const CsvTable& table, const std::string& target,
-                          const std::string& tag_column) {
+                          const std::string& tag_column,
+                          NonFinitePolicy policy) {
   const std::size_t target_col = table.column(target);
   std::size_t tag_col = static_cast<std::size_t>(-1);
   bool has_tag = false;
@@ -106,8 +132,19 @@ Dataset Dataset::from_csv(const CsvTable& table, const std::string& target,
   for (std::size_t r = 0; r < table.num_rows(); ++r) {
     for (std::size_t i = 0; i < feature_cols.size(); ++i)
       feats[i] = table.at_double(r, feature_cols[i]);
-    ds.add_row(feats, table.at_double(r, target_col),
-               has_tag ? table.at(r, tag_col) : "");
+    const double y = table.at_double(r, target_col);
+    std::string tag = has_tag ? table.at(r, tag_col) : "";
+    const bool finite =
+        std::isfinite(y) &&
+        std::all_of(feats.begin(), feats.end(),
+                    [](double v) { return std::isfinite(v); });
+    if (finite || policy == NonFinitePolicy::kKeep) {
+      ds.append_unchecked(feats, y, std::move(tag));
+    } else if (policy == NonFinitePolicy::kReject) {
+      throw data_error("CSV row " + std::to_string(r) + " ('" + tag +
+                       "') contains non-finite values");
+    }
+    // kSkip: drop the row.
   }
   return ds;
 }

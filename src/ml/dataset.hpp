@@ -29,10 +29,18 @@ class Dataset {
   const std::string& target_name() const { return target_name_; }
 
   /// Appends an observation; `features` length must equal num_features().
+  /// Rows containing NaN/Inf features or a non-finite target are rejected
+  /// with coloc::data_error — a single poisoned row silently corrupts SCG
+  /// training, so corruption must be caught at ingestion, not at fit time.
   /// `tag` is free-form provenance (e.g. "canneal|cg|x4|2.7GHz") used by
   /// per-application error breakdowns (Figure 5).
   void add_row(std::span<const double> features, double target,
                std::string tag = "");
+
+  /// True when every feature and the target of `row` are finite. Always
+  /// true for rows ingested through add_row; can be false after from_csv
+  /// with NonFinitePolicy::kKeep.
+  bool row_is_finite(std::size_t row) const;
 
   std::span<const double> features(std::size_t row) const;
   double target(std::size_t row) const { return targets_[row]; }
@@ -53,11 +61,22 @@ class Dataset {
   /// Column index for a named feature; throws if absent.
   std::size_t feature_index(const std::string& name) const;
 
+  /// What to do with rows whose features/target are not finite when
+  /// loading external data.
+  enum class NonFinitePolicy {
+    kReject,  // throw coloc::data_error (default: fail loudly)
+    kSkip,    // drop the offending row, keep the rest
+    kKeep,    // load as-is; downstream consumers must tolerate the rows
+  };
+
   CsvTable to_csv() const;
   static Dataset from_csv(const CsvTable& table, const std::string& target,
-                          const std::string& tag_column = "tag");
+                          const std::string& tag_column = "tag",
+                          NonFinitePolicy policy = NonFinitePolicy::kReject);
 
  private:
+  void append_unchecked(std::span<const double> features, double target,
+                        std::string tag);
   std::vector<std::string> feature_names_;
   std::string target_name_;
   std::vector<double> values_;  // row-major, num_rows x num_features

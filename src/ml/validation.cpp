@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
@@ -21,6 +22,7 @@ struct ValidationMetrics {
   obs::Counter& partitions;
   obs::Histogram& partition_seconds;
   obs::Gauge& last_test_mpe;
+  obs::Counter& rows_skipped;
 
   static ValidationMetrics& get() {
     auto& registry = obs::Registry::global();
@@ -28,6 +30,7 @@ struct ValidationMetrics {
         registry.counter("validation_partitions_total"),
         registry.histogram("validation_partition_seconds"),
         registry.gauge("validation_last_test_mpe"),
+        registry.counter("validation_rows_skipped_total"),
     };
     return metrics;
   }
@@ -55,7 +58,22 @@ ValidationResult repeated_subsampling_validation(
     const ModelFactory& factory, const ValidationOptions& options) {
   COLOC_CHECK_MSG(options.partitions > 0, "need at least one partition");
   COLOC_CHECK_MSG(!columns.empty(), "need at least one feature column");
-  COLOC_CHECK_MSG(data.num_rows() >= 10, "dataset too small to validate");
+
+  // Quarantined campaigns and kKeep CSV loads can leave non-finite rows in
+  // a dataset; tolerate them by validating on the finite subset instead of
+  // letting one NaN poison every partition's training run.
+  std::vector<std::size_t> usable;
+  usable.reserve(data.num_rows());
+  for (std::size_t r = 0; r < data.num_rows(); ++r) {
+    if (data.row_is_finite(r)) usable.push_back(r);
+  }
+  if (usable.size() < data.num_rows()) {
+    const std::size_t skipped = data.num_rows() - usable.size();
+    ValidationMetrics::get().rows_skipped.inc(skipped);
+    COLOC_LOG_WARN << "validation skipping " << skipped
+                   << " non-finite rows of " << data.num_rows();
+  }
+  COLOC_CHECK_MSG(usable.size() >= 10, "dataset too small to validate");
 
   const std::size_t P = options.partitions;
   std::vector<double> train_mpe(P), test_mpe(P), train_nrmse(P),
@@ -72,8 +90,12 @@ ValidationResult repeated_subsampling_validation(
     // Derive a per-partition seed so results are independent of scheduling.
     const std::uint64_t seed = options.seed * 0x9e3779b97f4a7c15ULL +
                                static_cast<std::uint64_t>(p) * 0x61c88647ULL;
-    const SplitIndices split =
-        random_split(data.num_rows(), options.holdout_fraction, seed);
+    SplitIndices split =
+        random_split(usable.size(), options.holdout_fraction, seed);
+    // Map the split from "usable row" space back to dataset row indices
+    // (identity when no rows were skipped).
+    for (std::size_t& i : split.train) i = usable[i];
+    for (std::size_t& i : split.test) i = usable[i];
 
     const linalg::Matrix x_train = data.design_matrix(split.train, columns);
     const std::vector<double> y_train = data.target_subset(split.train);

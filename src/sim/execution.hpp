@@ -44,27 +44,53 @@ struct RunMeasurement {
   double memory_intensity() const { return counters.memory_intensity(); }
 };
 
+/// Abstract measurement backend: something that can run a target (alone or
+/// co-located) on one machine and report a RunMeasurement. The paper's
+/// methodology (src/core) consumes this interface only, so decorators can
+/// interpose on the measurement path — fault::FaultInjector injects
+/// deterministic failures, and future backends (real perf-event testbeds,
+/// remote agents) slot in without touching the collection loops.
+///
+/// Implementations may throw coloc::MeasurementError; callers that need to
+/// survive flaky measurement wrap their calls in fault::ResilientRunner.
+class MeasurementSource {
+ public:
+  virtual ~MeasurementSource() = default;
+
+  virtual const MachineConfig& machine() const = 0;
+
+  /// Baseline run: the application alone on the machine (Section IV-B3's
+  /// "initial baseline tests"). `repetition` varies the noise draw; retry
+  /// layers pass the attempt number so a re-run is a fresh measurement.
+  virtual RunMeasurement run_alone(const ApplicationSpec& app,
+                                   std::size_t pstate_index,
+                                   std::uint64_t repetition = 0) = 0;
+
+  /// Co-located run: measures `target` while `coapps` run on other cores.
+  virtual RunMeasurement run_colocated(
+      const ApplicationSpec& target,
+      const std::vector<ApplicationSpec>& coapps, std::size_t pstate_index,
+      std::uint64_t repetition = 0) = 0;
+};
+
 /// Simulated testbed for one machine. Holds the machine config, the MRC
 /// library, and a deterministic noise stream: identical (target, co-apps,
 /// P-state, repetition) tuples always produce identical measurements.
-class Simulator {
+class Simulator : public MeasurementSource {
  public:
   Simulator(MachineConfig machine, AppMrcLibrary* library,
             MeasurementOptions options = {});
 
-  const MachineConfig& machine() const { return machine_; }
+  const MachineConfig& machine() const override { return machine_; }
 
-  /// Baseline run: the application alone on the machine (Section IV-B3's
-  /// "initial baseline tests"). `repetition` varies the noise draw.
   RunMeasurement run_alone(const ApplicationSpec& app,
                            std::size_t pstate_index,
-                           std::uint64_t repetition = 0);
+                           std::uint64_t repetition = 0) override;
 
-  /// Co-located run: measures `target` while `coapps` run on other cores.
   RunMeasurement run_colocated(const ApplicationSpec& target,
                                const std::vector<ApplicationSpec>& coapps,
                                std::size_t pstate_index,
-                               std::uint64_t repetition = 0);
+                               std::uint64_t repetition = 0) override;
 
   /// Direct access to the noise-free solver (diagnostics, ablations).
   ContentionSolution solve(const std::vector<ApplicationSpec>& apps,

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -114,6 +116,65 @@ TEST(TargetScalerTest, RoundTrip) {
 
 TEST(DatasetTest, EmptyFeatureListRejected) {
   EXPECT_THROW(Dataset({}, "y"), coloc::runtime_error);
+}
+
+TEST(DatasetTest, NonFiniteFeatureRejectedAtIngestion) {
+  Dataset ds({"f0", "f1"}, "y");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  try {
+    ds.add_row(std::vector<double>{1.0, nan}, 2.0, "poisoned");
+    FAIL() << "expected data_error";
+  } catch (const data_error& e) {
+    EXPECT_NE(std::string(e.what()).find("poisoned"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("f1"), std::string::npos);
+  }
+  EXPECT_EQ(ds.num_rows(), 0u) << "a rejected row must not be stored";
+}
+
+TEST(DatasetTest, NonFiniteTargetRejectedAtIngestion) {
+  Dataset ds({"f0"}, "y");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ds.add_row(std::vector<double>{1.0}, inf, "t"), data_error);
+  EXPECT_EQ(ds.num_rows(), 0u);
+}
+
+TEST(DatasetTest, RowIsFiniteForCleanRows) {
+  const Dataset ds = make_dataset();
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_TRUE(ds.row_is_finite(r));
+  }
+}
+
+CsvTable csv_with_nan_row() {
+  CsvTable table({"f0", "y", "tag"});
+  table.add_row({"1.0", "10.0", "good"});
+  table.add_row({"nan", "20.0", "bad"});
+  table.add_row({"3.0", "30.0", "also_good"});
+  return table;
+}
+
+TEST(DatasetTest, FromCsvRejectsNonFiniteByDefault) {
+  EXPECT_THROW(Dataset::from_csv(csv_with_nan_row(), "y"), data_error);
+}
+
+TEST(DatasetTest, FromCsvSkipPolicyDropsBadRows) {
+  const Dataset ds = Dataset::from_csv(csv_with_nan_row(), "y", "tag",
+                                       Dataset::NonFinitePolicy::kSkip);
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.tag(0), "good");
+  EXPECT_EQ(ds.tag(1), "also_good");
+}
+
+TEST(DatasetTest, FromCsvKeepPolicyLoadsVerbatim) {
+  const Dataset ds = Dataset::from_csv(csv_with_nan_row(), "y", "tag",
+                                       Dataset::NonFinitePolicy::kKeep);
+  EXPECT_EQ(ds.num_rows(), 3u);
+  EXPECT_TRUE(ds.row_is_finite(0));
+  EXPECT_FALSE(ds.row_is_finite(1));
+  EXPECT_TRUE(ds.row_is_finite(2));
+  // subset() must not re-validate kKeep rows.
+  const std::vector<std::size_t> rows = {1};
+  EXPECT_FALSE(ds.subset(rows).row_is_finite(0));
 }
 
 }  // namespace

@@ -1,0 +1,267 @@
+#include "fault/resilient_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace coloc::fault {
+namespace {
+
+sim::RunMeasurement good_measurement(double time_s = 10.0) {
+  sim::RunMeasurement m;
+  m.execution_time_s = time_s;
+  m.counters.set(sim::PresetEvent::kTotalInstructions, 1e9);
+  m.counters.set(sim::PresetEvent::kTotalCycles, 2e9);
+  m.counters.set(sim::PresetEvent::kLlcMisses, 1e6);
+  m.counters.set(sim::PresetEvent::kLlcAccesses, 1e7);
+  return m;
+}
+
+RetryPolicy fast_policy(std::size_t max_attempts = 4) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.base_backoff_ms = 0.1;
+  policy.max_backoff_ms = 1.0;
+  policy.deadline_ms = 2000.0;
+  return policy;
+}
+
+TEST(ValidateMeasurement, AcceptsHealthyReading) {
+  EXPECT_NO_THROW(
+      validate_measurement(good_measurement(), 8.0, PlausibilityBounds{}));
+}
+
+TEST(ValidateMeasurement, RejectsNonFiniteWallTime) {
+  sim::RunMeasurement m = good_measurement();
+  m.execution_time_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(validate_measurement(m, 0.0, PlausibilityBounds{}),
+               MeasurementError);
+  m.execution_time_s = -3.0;
+  EXPECT_THROW(validate_measurement(m, 0.0, PlausibilityBounds{}),
+               MeasurementError);
+}
+
+TEST(ValidateMeasurement, RejectsNegativeCounter) {
+  sim::RunMeasurement m = good_measurement();
+  m.counters.set(sim::PresetEvent::kLlcMisses, -1.0);
+  EXPECT_THROW(validate_measurement(m, 0.0, PlausibilityBounds{}),
+               MeasurementError);
+}
+
+TEST(ValidateMeasurement, RejectsZeroInstructionCount) {
+  sim::RunMeasurement m = good_measurement();
+  m.counters.set(sim::PresetEvent::kTotalInstructions, 0.0);
+  EXPECT_THROW(validate_measurement(m, 0.0, PlausibilityBounds{}),
+               MeasurementError);
+}
+
+TEST(ValidateMeasurement, RejectsImplausibleSlowdown) {
+  const sim::RunMeasurement m = good_measurement(10.0);
+  // Slowdown 100x against a 0.1 s reference: outlier territory.
+  EXPECT_THROW(validate_measurement(m, 0.1, PlausibilityBounds{}),
+               MeasurementError);
+  // Speedup below min_slowdown: equally implausible.
+  EXPECT_THROW(validate_measurement(m, 100.0, PlausibilityBounds{}),
+               MeasurementError);
+}
+
+TEST(ValidateMeasurement, ZeroReferenceDisablesPlausibility) {
+  EXPECT_NO_THROW(
+      validate_measurement(good_measurement(), 0.0, PlausibilityBounds{}));
+}
+
+TEST(ValidateMeasurement, ClassifiesAsCorruptedData) {
+  sim::RunMeasurement m = good_measurement();
+  m.execution_time_s = std::numeric_limits<double>::infinity();
+  try {
+    validate_measurement(m, 0.0, PlausibilityBounds{});
+    FAIL() << "expected MeasurementError";
+  } catch (const MeasurementError& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::kCorruptedData);
+  }
+}
+
+TEST(ResilientRunner, SucceedsFirstAttempt) {
+  ResilientRunner runner(fast_policy());
+  const auto result = runner.measure_cell(
+      "a|b|x1|p0", 0.0, [](std::uint64_t) { return good_measurement(); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->execution_time_s, 10.0);
+  EXPECT_EQ(runner.report().cells_attempted, 1u);
+  EXPECT_EQ(runner.report().cells_ok, 1u);
+  EXPECT_EQ(runner.report().retries, 0u);
+}
+
+TEST(ResilientRunner, RetriesTransientFaultsWithFreshAttemptNumber) {
+  ResilientRunner runner(fast_policy());
+  std::vector<std::uint64_t> attempts;
+  const auto result = runner.measure_cell(
+      "a|b|x1|p0", 0.0, [&attempts](std::uint64_t attempt) {
+        attempts.push_back(attempt);
+        if (attempt < 2) {
+          throw MeasurementError(ErrorClass::kTransient, "flaky");
+        }
+        return good_measurement();
+      });
+  ASSERT_TRUE(result.has_value());
+  // The attempt number is forwarded so retries draw fresh noise.
+  EXPECT_EQ(attempts, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(runner.report().retries, 2u);
+  EXPECT_EQ(runner.report().transient_faults, 2u);
+  EXPECT_EQ(runner.report().cells_ok, 1u);
+}
+
+TEST(ResilientRunner, RetriesCorruptedReadings) {
+  ResilientRunner runner(fast_policy());
+  const auto result = runner.measure_cell(
+      "a|b|x1|p0", 0.0, [](std::uint64_t attempt) {
+        sim::RunMeasurement m = good_measurement();
+        if (attempt == 0) {
+          m.execution_time_s = std::numeric_limits<double>::quiet_NaN();
+        }
+        return m;
+      });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(runner.report().corrupted_readings, 1u);
+  EXPECT_EQ(runner.report().retries, 1u);
+}
+
+TEST(ResilientRunner, QuarantinesAfterExhaustingAttempts) {
+  ResilientRunner runner(fast_policy(3));
+  std::size_t calls = 0;
+  const auto result = runner.measure_cell(
+      "bad|cell|x1|p0", 0.0, [&calls](std::uint64_t) -> sim::RunMeasurement {
+        ++calls;
+        throw MeasurementError(ErrorClass::kTransient, "always down");
+      });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 3u);
+  const CompletenessReport& report = runner.report();
+  EXPECT_EQ(report.cells_quarantined, 1u);
+  EXPECT_EQ(report.cells_ok, 0u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].tag, "bad|cell|x1|p0");
+  EXPECT_EQ(report.quarantined[0].attempts, 3u);
+  EXPECT_NE(report.quarantined[0].reason.find("always down"),
+            std::string::npos);
+  EXPECT_DOUBLE_EQ(report.completeness(), 0.0);
+}
+
+TEST(ResilientRunner, PermanentErrorQuarantinesImmediately) {
+  ResilientRunner runner(fast_policy(5));
+  std::size_t calls = 0;
+  const auto result = runner.measure_cell(
+      "a|b|x1|p0", 0.0, [&calls](std::uint64_t) -> sim::RunMeasurement {
+        ++calls;
+        throw MeasurementError(ErrorClass::kPermanent, "no such app");
+      });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1u) << "permanent failures must not be retried";
+  EXPECT_EQ(runner.report().retries, 0u);
+  EXPECT_EQ(runner.report().cells_quarantined, 1u);
+}
+
+TEST(ResilientRunner, UnknownExceptionTreatedAsPermanent) {
+  ResilientRunner runner(fast_policy(5));
+  std::size_t calls = 0;
+  const auto result = runner.measure_cell(
+      "a|b|x1|p0", 0.0, [&calls](std::uint64_t) -> sim::RunMeasurement {
+        ++calls;
+        throw std::logic_error("programming bug, not a measurement fault");
+      });
+  EXPECT_FALSE(result.has_value());
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ResilientRunner, DeadlineOverrunCancelsAndRetries) {
+  RetryPolicy policy = fast_policy(3);
+  policy.deadline_ms = 60.0;
+  ResilientRunner runner(policy);
+  const auto result = runner.measure_cell(
+      "slow|cell|x1|p0", 0.0, [](std::uint64_t attempt) {
+        if (attempt == 0) {
+          // Cooperative hang: spin until the deadline cancels our token.
+          const auto give_up = std::chrono::steady_clock::now() +
+                               std::chrono::seconds(10);
+          while (!CancellationScope::current_cancelled() &&
+                 std::chrono::steady_clock::now() < give_up) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+          throw MeasurementError(ErrorClass::kTransient, "cancelled");
+        }
+        return good_measurement();
+      });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(runner.report().deadline_overruns, 1u);
+}
+
+TEST(ResilientRunner, AccountsResumedAndSkippedCells) {
+  ResilientRunner runner(fast_policy());
+  runner.note_resumed_cell();
+  runner.note_resumed_cell();
+  runner.note_skipped_cell("gone|cell|x1|p0", "baseline quarantined");
+  const CompletenessReport& report = runner.report();
+  EXPECT_EQ(report.cells_attempted, 3u);
+  EXPECT_EQ(report.cells_resumed, 2u);
+  EXPECT_EQ(report.cells_quarantined, 1u);
+  ASSERT_EQ(report.quarantined.size(), 1u);
+  EXPECT_EQ(report.quarantined[0].attempts, 0u);
+  EXPECT_NEAR(report.completeness(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ResilientRunner, CompletenessReportSummarizes) {
+  ResilientRunner runner(fast_policy());
+  runner.measure_cell("ok|cell|x1|p0", 0.0,
+                      [](std::uint64_t) { return good_measurement(); });
+  const std::string summary = runner.report().summary();
+  EXPECT_NE(summary.find("completeness 100"), std::string::npos);
+  EXPECT_NE(summary.find("1 measured"), std::string::npos);
+}
+
+TEST(ResilientRunner, EmptyReportIsFullyComplete) {
+  const CompletenessReport report;
+  EXPECT_DOUBLE_EQ(report.completeness(), 1.0);
+}
+
+TEST(ResilientRunner, RejectsDegenerateConfiguration) {
+  RetryPolicy no_attempts;
+  no_attempts.max_attempts = 0;
+  EXPECT_THROW(ResilientRunner{no_attempts}, coloc::runtime_error);
+  RetryPolicy no_deadline;
+  no_deadline.deadline_ms = 0.0;
+  EXPECT_THROW(ResilientRunner{no_deadline}, coloc::runtime_error);
+}
+
+class RetryEnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ::unsetenv("COLOC_CELL_DEADLINE_MS");
+    ::unsetenv("COLOC_MAX_ATTEMPTS");
+  }
+};
+
+TEST_F(RetryEnvTest, HonorsEnvironmentOverrides) {
+  ::setenv("COLOC_CELL_DEADLINE_MS", "123", 1);
+  ::setenv("COLOC_MAX_ATTEMPTS", "7", 1);
+  const RetryPolicy policy = RetryPolicy::from_env();
+  EXPECT_DOUBLE_EQ(policy.deadline_ms, 123.0);
+  EXPECT_EQ(policy.max_attempts, 7u);
+}
+
+TEST_F(RetryEnvTest, DefaultsWhenUnset) {
+  const RetryPolicy policy = RetryPolicy::from_env();
+  EXPECT_DOUBLE_EQ(policy.deadline_ms, RetryPolicy{}.deadline_ms);
+  EXPECT_EQ(policy.max_attempts, RetryPolicy{}.max_attempts);
+}
+
+}  // namespace
+}  // namespace coloc::fault
