@@ -1,0 +1,418 @@
+// Performance-trajectory harness for the PR 4 fast paths. Times the three
+// pipeline stages the optimization targeted — trace profiling, the Table V
+// collection campaign, and the paper's 100-partition set-F MLP validation —
+// and races the batched MLP training/inference path against an in-file
+// replica of the pre-optimization implementation (rowwise std::tanh
+// loss/gradient, per-call-allocating predict, serial restarts) driven
+// through the same repeated_subsampling_validation protocol.
+//
+// Writes a machine-readable BENCH_pipeline.json (override with --out=FILE)
+// recording the stage timings, the validation speedup, and a set of
+// numerical-equivalence gates. The exit status reflects ONLY the
+// equivalence gates — never timing — so CI can run this on noisy shared
+// runners without flaking:
+//   gate matmul_vs_naive          tiled GEMM == reference i-k-j loop
+//   gate batched_loss_vs_reference batched loss/grad == rowwise oracle
+//   gate fast_vs_legacy_mpe/nrmse  validation metrics match the replica
+//   gate solve_cache_bit_identical cached contention solve == cold solve
+//
+// Run the headline number (Release build):
+//   ./build/bench/bench_perf_pipeline --partitions=100
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+#include "ml/scg.hpp"
+#include "ml/validation.hpp"
+#include "obs/metrics.hpp"
+#include "sim/stack_distance.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace coloc;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// One numerical-equivalence check: `value` must stay <= `limit`.
+struct Gate {
+  const char* name;
+  double value = 0.0;
+  double limit = 0.0;
+  bool pass() const { return value <= limit; }
+};
+
+// ---------------------------------------------------------------------------
+// Pre-optimization MLP replica. This is the seed implementation the batched
+// path replaced: std::tanh through a row-at-a-time forward/backward pass,
+// predict() allocating a fresh standardization buffer per call, and the
+// default per-row predict_all loop. Kept here (not in src/) so the library
+// carries exactly one tanh and one training path; the replica exists only
+// to give the speedup measurement an honest baseline.
+// ---------------------------------------------------------------------------
+
+class LegacyMlp final : public ml::Regressor {
+ public:
+  static std::unique_ptr<LegacyMlp> fit(const linalg::Matrix& x,
+                                        std::span<const double> y,
+                                        const ml::MlpOptions& options) {
+    linalg::Matrix design = x;
+    ml::Standardizer scaler = ml::Standardizer::fit(design);
+    scaler.transform(design);
+    ml::TargetScaler target = ml::TargetScaler::fit(y);
+    const std::vector<double> z = target.transform_all(y);
+
+    auto model = std::unique_ptr<LegacyMlp>(new LegacyMlp);
+    model->inputs_ = x.cols();
+    model->hidden_ = options.hidden_units;
+    model->scaler_ = std::move(scaler);
+    model->target_ = std::move(target);
+    model->params_.assign(model->num_parameters(), 0.0);
+
+    Rng rng(options.seed);
+    model->initialize(rng);
+
+    ml::ScgObjective objective{
+        .dimension = model->num_parameters(),
+        .value_and_gradient =
+            [&](std::span<const double> p, std::span<double> g) {
+              std::copy(p.begin(), p.end(), model->params_.begin());
+              return model->loss_and_gradient(design, z,
+                                              options.weight_decay, g);
+            },
+    };
+    std::vector<double> p = model->params_;
+    ml::ScgOptions scg_options;
+    scg_options.max_iterations = options.max_iterations;
+    scg_options.gradient_tolerance = options.gradient_tolerance;
+    const ml::ScgResult res = ml::scg_minimize(objective, p, scg_options);
+    model->params_.assign(res.solution.begin(), res.solution.end());
+    return model;
+  }
+
+  double predict(std::span<const double> features) const override {
+    // Deliberately the pre-PR behaviour: heap-allocate the standardized
+    // row on every call.
+    std::vector<double> row(features.begin(), features.end());
+    scaler_.transform_row(row);
+    return target_.inverse(forward(row));
+  }
+
+  std::string describe() const override { return "LegacyMlp"; }
+
+ private:
+  LegacyMlp() = default;
+
+  std::size_t num_parameters() const {
+    return hidden_ * inputs_ + 2 * hidden_ + 1;
+  }
+  std::size_t b1_offset() const { return hidden_ * inputs_; }
+  std::size_t w2_offset() const { return hidden_ * inputs_ + hidden_; }
+  std::size_t b2_offset() const { return hidden_ * inputs_ + 2 * hidden_; }
+
+  void initialize(Rng& rng) {
+    const double w1_scale = std::sqrt(1.0 / static_cast<double>(inputs_));
+    const double w2_scale = std::sqrt(1.0 / static_cast<double>(hidden_));
+    for (std::size_t i = 0; i < hidden_ * inputs_; ++i)
+      params_[i] = rng.normal(0.0, w1_scale);
+    for (std::size_t i = 0; i < hidden_; ++i)
+      params_[w2_offset() + i] = rng.normal(0.0, w2_scale);
+  }
+
+  double forward(std::span<const double> x) const {
+    const double* w1 = params_.data();
+    const double* b1 = params_.data() + b1_offset();
+    const double* w2 = params_.data() + w2_offset();
+    double out = params_[b2_offset()];
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      double a = b1[h];
+      const double* wrow = w1 + h * inputs_;
+      for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * x[i];
+      out += w2[h] * std::tanh(a);
+    }
+    return out;
+  }
+
+  double loss_and_gradient(const linalg::Matrix& x, std::span<const double> y,
+                           double weight_decay,
+                           std::span<double> grad) const {
+    const std::size_t m = x.rows();
+    const double* w1 = params_.data();
+    const double* b1 = params_.data() + b1_offset();
+    const double* w2 = params_.data() + w2_offset();
+    double* g_w1 = grad.data();
+    double* g_b1 = grad.data() + b1_offset();
+    double* g_w2 = grad.data() + w2_offset();
+    double& g_b2 = grad[b2_offset()];
+    std::fill(grad.begin(), grad.end(), 0.0);
+
+    std::vector<double> act(hidden_);
+    double loss = 0.0;
+    const double inv_m = 1.0 / static_cast<double>(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      const auto row = x.row(r);
+      double out = params_[b2_offset()];
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        double a = b1[h];
+        const double* wrow = w1 + h * inputs_;
+        for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * row[i];
+        act[h] = std::tanh(a);
+        out += w2[h] * act[h];
+      }
+      const double err = out - y[r];
+      loss += 0.5 * err * err;
+      const double d_out = err * inv_m;
+      g_b2 += d_out;
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        g_w2[h] += d_out * act[h];
+        const double d_a = d_out * w2[h] * (1.0 - act[h] * act[h]);
+        g_b1[h] += d_a;
+        double* grow = g_w1 + h * inputs_;
+        for (std::size_t i = 0; i < inputs_; ++i) grow[i] += d_a * row[i];
+      }
+    }
+    loss *= inv_m;
+    if (weight_decay > 0.0) {
+      double wnorm = 0.0;
+      for (std::size_t i = 0; i < params_.size(); ++i) {
+        wnorm += params_[i] * params_[i];
+        grad[i] += weight_decay * params_[i];
+      }
+      loss += 0.5 * weight_decay * wnorm;
+    }
+    return loss;
+  }
+
+  std::size_t inputs_ = 0;
+  std::size_t hidden_ = 0;
+  std::vector<double> params_;
+  ml::Standardizer scaler_;
+  ml::TargetScaler target_;
+};
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  return worst;
+}
+
+bool bitwise_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void json_gate(std::ofstream& os, const Gate& g, bool last) {
+  os << "    {\"name\": \"" << g.name << "\", \"value\": " << g.value
+     << ", \"limit\": " << g.limit << ", \"pass\": "
+     << (g.pass() ? "true" : "false") << "}" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coloc;
+  const CliArgs args(argc, argv);
+  const bench::HarnessConfig config = bench::HarnessConfig::from_cli(args);
+  const obs::ObsSession session(config.run_session());
+  const std::string out_path = args.get("out", "BENCH_pipeline.json");
+
+  // --- Stage 1: trace profiling (stack-distance pass over one app trace).
+  const sim::ApplicationSpec canneal = sim::find_application("canneal");
+  const std::size_t trace_len = config.quick ? 200'000 : 2'000'000;
+  sim::TraceGenerator generator(canneal.trace, config.seed);
+  const std::vector<sim::LineAddress> trace = generator.generate(trace_len);
+  auto t0 = std::chrono::steady_clock::now();
+  const sim::StackDistanceProfiler profiler = sim::profile_trace(trace);
+  const double profile_s = seconds_since(t0);
+  std::printf("trace profiling      : %8.3f s  (%zu refs, %llu cold)\n",
+              profile_s, trace.size(),
+              static_cast<unsigned long long>(profiler.cold_misses()));
+
+  // --- Stage 2: collection campaign (Table V sweep on the 6-core Xeon).
+  const sim::MachineConfig machine = sim::xeon_e5649();
+  sim::AppMrcLibrary library;
+  sim::MeasurementOptions measurement;
+  measurement.seed = config.seed;
+  sim::Simulator testbed(machine, &library, measurement);
+  core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
+  if (config.quick)
+    campaign_config.pstate_indices = {0, machine.pstates.size() - 1};
+  library.profile_all(campaign_config.targets);
+  t0 = std::chrono::steady_clock::now();
+  const core::CampaignResult campaign =
+      core::run_campaign(testbed, campaign_config);
+  const double campaign_s = seconds_since(t0);
+  std::printf("campaign collection  : %8.3f s  (%zu rows)\n", campaign_s,
+              campaign.dataset.num_rows());
+
+  // --- Stage 3: set-F MLP validation, fast path vs pre-PR replica.
+  // Both arms share one MlpOptions so the comparison isolates the
+  // implementation, not the hyperparameters.
+  ml::MlpOptions mlp = config.evaluation().zoo.mlp;
+  mlp.hidden_units = core::hidden_units_for(core::FeatureSet::kF);
+  const auto& columns = core::feature_set_columns(core::FeatureSet::kF);
+  ml::ValidationOptions validation;
+  validation.partitions = config.partitions;
+
+  const ml::ModelFactory fast_factory =
+      [&mlp](const linalg::Matrix& x,
+             std::span<const double> y) -> ml::RegressorPtr {
+    return std::make_unique<ml::MlpRegressor>(ml::MlpRegressor::fit(x, y, mlp));
+  };
+  const ml::ModelFactory legacy_factory =
+      [&mlp](const linalg::Matrix& x,
+             std::span<const double> y) -> ml::RegressorPtr {
+    return LegacyMlp::fit(x, y, mlp);
+  };
+
+  t0 = std::chrono::steady_clock::now();
+  const ml::ValidationResult legacy = ml::repeated_subsampling_validation(
+      campaign.dataset, columns, legacy_factory, validation);
+  const double legacy_s = seconds_since(t0);
+  std::printf("validation (legacy)  : %8.3f s  (MPE %.3f%%, NRMSE %.3f)\n",
+              legacy_s, legacy.test_mpe, legacy.test_nrmse);
+
+  t0 = std::chrono::steady_clock::now();
+  const ml::ValidationResult fast = ml::repeated_subsampling_validation(
+      campaign.dataset, columns, fast_factory, validation);
+  const double fast_s = seconds_since(t0);
+  std::printf("validation (fast)    : %8.3f s  (MPE %.3f%%, NRMSE %.3f)\n",
+              fast_s, fast.test_mpe, fast.test_nrmse);
+
+  const double speedup = fast_s > 0.0 ? legacy_s / fast_s : 0.0;
+  std::printf("validation speedup   : %8.2fx (%zu partitions, set F)\n",
+              speedup, validation.partitions);
+
+  // --- Equivalence gates.
+  std::vector<Gate> gates;
+  Rng rng(config.seed ^ 0x5eedULL);
+
+  {  // (a) tiled GEMM vs the naive reference loop, odd non-square shapes.
+    double worst = 0.0;
+    const std::size_t shapes[][3] = {{17, 31, 23}, {64, 64, 64}, {1, 129, 7}};
+    for (const auto& s : shapes) {
+      const linalg::Matrix a = random_matrix(s[0], s[1], rng);
+      const linalg::Matrix b = random_matrix(s[1], s[2], rng);
+      const linalg::Matrix fast_c = linalg::matmul(a, b);
+      const linalg::Matrix ref_c = linalg::matmul_naive(a, b);
+      worst = std::max(worst, max_abs_diff(fast_c.data(), ref_c.data()));
+    }
+    gates.push_back({"matmul_vs_naive_max_abs_diff", worst, 1e-12});
+  }
+
+  {  // (b) batched loss/gradient vs the rowwise reference oracle.
+    const std::size_t m = 37, inputs = 9, hidden = 13;
+    const linalg::Matrix x = random_matrix(m, inputs, rng);
+    std::vector<double> y(m);
+    for (double& v : y) v = rng.uniform(-1.0, 1.0);
+    ml::MlpNetwork net(inputs, hidden);
+    Rng init(config.seed + 1);
+    net.initialize(init);
+    std::vector<double> g_fast(net.num_parameters());
+    std::vector<double> g_ref(net.num_parameters());
+    const double l_fast = net.loss_and_gradient(x, y, 1e-6, g_fast);
+    const double l_ref = net.loss_and_gradient_reference(x, y, 1e-6, g_ref);
+    const double worst =
+        std::max(std::abs(l_fast - l_ref), max_abs_diff(g_fast, g_ref));
+    gates.push_back({"batched_loss_vs_reference_max_abs_diff", worst, 1e-12});
+  }
+
+  // (c) fast vs legacy validation metrics. The two arms differ only in the
+  // tanh implementation (|rel err| < 1e-15 per call), so trained models —
+  // and the averaged validation metrics — must agree far inside a quarter
+  // of a percentage point.
+  gates.push_back(
+      {"fast_vs_legacy_test_mpe_pp", std::abs(fast.test_mpe - legacy.test_mpe),
+       0.25});
+  gates.push_back({"fast_vs_legacy_test_nrmse_pp",
+                   std::abs(fast.test_nrmse - legacy.test_nrmse), 0.25});
+
+  {  // (d) memoized contention solve must be bit-identical to a cold solve.
+    const sim::ApplicationSpec cg = sim::find_application("cg");
+    const std::vector<sim::ApplicationSpec> coapps(3, cg);
+    const sim::RunMeasurement first =
+        testbed.run_colocated(canneal, coapps, 0, /*repetition=*/11);
+    const sim::RunMeasurement second =
+        testbed.run_colocated(canneal, coapps, 0, /*repetition=*/11);
+    gates.push_back({"solve_cache_bit_identical",
+                     bitwise_equal(first.execution_time_s,
+                                   second.execution_time_s)
+                         ? 0.0
+                         : 1.0,
+                     0.0});
+  }
+
+  bool all_pass = true;
+  std::printf("\nequivalence gates:\n");
+  for (const Gate& g : gates) {
+    all_pass = all_pass && g.pass();
+    std::printf("  %-40s %s  (%.3e <= %.3e)\n", g.name,
+                g.pass() ? "PASS" : "FAIL", g.value, g.limit);
+  }
+
+  auto& registry = obs::Registry::global();
+  const std::uint64_t hits =
+      registry.counter("sim_solve_cache_hits_total").value();
+  const std::uint64_t misses =
+      registry.counter("sim_solve_cache_misses_total").value();
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  std::printf("solve cache          : %llu hits / %llu misses (%.1f%%)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), 100.0 * hit_rate);
+
+  std::ofstream os(out_path, std::ios::trunc);
+  if (os) {
+    os.precision(17);
+    os << "{\n"
+       << "  \"program\": \"bench_perf_pipeline\",\n"
+       << "  \"partitions\": " << validation.partitions << ",\n"
+       << "  \"nn_iterations\": " << mlp.max_iterations << ",\n"
+       << "  \"seed\": " << config.seed << ",\n"
+       << "  \"timings_s\": {\n"
+       << "    \"trace_profile\": " << profile_s << ",\n"
+       << "    \"campaign\": " << campaign_s << ",\n"
+       << "    \"validation_legacy\": " << legacy_s << ",\n"
+       << "    \"validation_fast\": " << fast_s << "\n  },\n"
+       << "  \"validation_speedup\": " << speedup << ",\n"
+       << "  \"fast\": {\"test_mpe\": " << fast.test_mpe
+       << ", \"test_nrmse\": " << fast.test_nrmse << "},\n"
+       << "  \"legacy\": {\"test_mpe\": " << legacy.test_mpe
+       << ", \"test_nrmse\": " << legacy.test_nrmse << "},\n"
+       << "  \"solve_cache\": {\"hits\": " << hits << ", \"misses\": "
+       << misses << ", \"hit_rate\": " << hit_rate << "},\n"
+       << "  \"equivalence\": [\n";
+    for (std::size_t i = 0; i < gates.size(); ++i)
+      json_gate(os, gates[i], i + 1 == gates.size());
+    os << "  ],\n"
+       << "  \"equivalence_ok\": " << (all_pass ? "true" : "false") << "\n"
+       << "}\n";
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", out_path.c_str());
+  }
+
+  return all_pass ? 0 : 1;
+}

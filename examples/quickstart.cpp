@@ -25,6 +25,7 @@
 #include "core/methodology.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/metrics.hpp"
 #include "obs/session.hpp"
 
 int main(int argc, char** argv) {
@@ -116,5 +117,42 @@ int main(int argc, char** argv) {
   std::printf("  prediction error     : %6.2f %%\n",
               100.0 * (predicted_s - actual.execution_time_s) /
                   actual.execution_time_s);
+
+  // 6. The model's real use case: sweep predicted vs measured slowdown for
+  //    canneal against every training co-runner at 1-4 copies. Each
+  //    measurement re-requests a configuration the campaign already
+  //    solved, so this whole sweep runs off the contention-solve cache.
+  std::printf("\npredicted vs measured time, canneal at %.2f GHz:\n",
+              machine.pstates[pstate].frequency_ghz);
+  for (const sim::ApplicationSpec& coapp : campaign_config.coapps) {
+    const core::BaselineProfile& co_profile =
+        campaign.baselines.at(coapp.name);
+    for (std::size_t count = 1; count <= 4; ++count) {
+      const std::vector<const core::BaselineProfile*> profiles(count,
+                                                               &co_profile);
+      const double pred = predictor.predict_time(target, profiles, pstate);
+      const sim::RunMeasurement run = testbed.run_colocated(
+          canneal, std::vector<sim::ApplicationSpec>(count, coapp), pstate,
+          /*repetition=*/9);
+      std::printf("  %-12s x%zu : predicted %7.1f s, measured %7.1f s "
+                  "(%+5.1f %%)\n",
+                  coapp.name.c_str(), count, pred, run.execution_time_s,
+                  100.0 * (pred - run.execution_time_s) /
+                      run.execution_time_s);
+    }
+  }
+
+  // Contention-solve cache effectiveness over the whole run (campaign
+  // repetitions + confirmation reads + the sweep above).
+  auto& registry = obs::Registry::global();
+  const double hits = static_cast<double>(
+      registry.counter("sim_solve_cache_hits_total").value());
+  const double misses = static_cast<double>(
+      registry.counter("sim_solve_cache_misses_total").value());
+  if (hits + misses > 0) {
+    std::printf("\ncontention-solve cache: %.0f hits / %.0f misses "
+                "(%.1f%% hit rate)\n",
+                hits, misses, 100.0 * hits / (hits + misses));
+  }
   return 0;
 }

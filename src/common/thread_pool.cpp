@@ -34,7 +34,11 @@ double seconds_between(std::chrono::steady_clock::time_point from,
 }
 
 thread_local const CancellationToken* t_current_token = nullptr;
+
+thread_local bool t_on_worker_thread = false;
 }  // namespace
+
+bool on_worker_thread() { return t_on_worker_thread; }
 
 CancellationScope::CancellationScope(CancellationToken token)
     : previous_(t_current_token), token_(std::move(token)) {
@@ -98,6 +102,7 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     Task task;

@@ -160,4 +160,10 @@ void parallel_for(ThreadPool& pool, std::size_t n,
 /// Convenience: shared process-wide pool sized to hardware concurrency.
 ThreadPool& global_pool();
 
+/// True when the calling thread is a worker of ANY ThreadPool. Kernels
+/// that fan out over global_pool() (e.g. linalg::matmul) must run serially
+/// when already on a worker: a blocking parallel_for from inside a worker
+/// would wait on chunks that can only run on the thread doing the waiting.
+bool on_worker_thread();
+
 }  // namespace coloc

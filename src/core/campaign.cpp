@@ -54,6 +54,27 @@ std::string CampaignResult::tag_target(const std::string& tag) {
 }
 
 namespace {
+/// Every campaign cell gets a confirmation read at a disjoint repetition
+/// seed, mirroring collect_baseline's guard: a corrupted primary read that
+/// slips past the plausibility bounds is caught by run-to-run disagreement
+/// instead of poisoning a dataset row. The recorded value is always the
+/// primary read, so fault-free campaign numerics are unchanged — and
+/// because the confirmation re-requests the same co-location
+/// configuration, it is a guaranteed contention-solve cache hit, costing
+/// one noise draw rather than a fixed-point solve.
+constexpr std::uint64_t kConfirmRepOffset = std::uint64_t{1} << 20;
+
+void check_confirmation(const std::string& tag,
+                        const sim::RunMeasurement& primary,
+                        const sim::RunMeasurement& confirm) {
+  const double ratio = primary.execution_time_s / confirm.execution_time_s;
+  if (!(ratio > 1.0 / 3.0 && ratio < 3.0)) {
+    throw MeasurementError(
+        ErrorClass::kCorruptedData,
+        "cell disagrees with its confirmation read: " + tag);
+  }
+}
+
 /// Shared per-cell bookkeeping for the collection loops below: measure
 /// through the runner (or take the row from the checkpoint), append to the
 /// dataset, and keep the checkpoint/metrics/progress in sync. Returns
@@ -196,11 +217,17 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
           const BaselineProfile& target_baseline =
               result.baselines.at(target.name);
           const auto features = compute_features(target_baseline, {}, p);
-          collector.collect(tag, features, target_baseline.time_at(p),
-                            metrics.cells_alone,
-                            [&](std::uint64_t attempt) {
-                              return source.run_alone(target, p, attempt + 1);
-                            });
+          collector.collect(
+              tag, features, target_baseline.time_at(p), metrics.cells_alone,
+              [&](std::uint64_t attempt) {
+                sim::RunMeasurement m = source.run_alone(target, p,
+                                                         attempt + 1);
+                check_confirmation(
+                    tag, m,
+                    source.run_alone(target, p,
+                                     kConfirmRepOffset + attempt + 1));
+                return m;
+              });
           maybe_abort();
         }
       }
@@ -222,12 +249,17 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
               count, &co_baseline);
           const auto features =
               compute_features(target_baseline, co_profiles, p);
-          collector.collect(tag, features, target_baseline.time_at(p),
-                            metrics.cells_colocated,
-                            [&](std::uint64_t attempt) {
-                              return source.run_colocated(target, copies, p,
-                                                          attempt);
-                            });
+          collector.collect(
+              tag, features, target_baseline.time_at(p),
+              metrics.cells_colocated, [&](std::uint64_t attempt) {
+                sim::RunMeasurement m =
+                    source.run_colocated(target, copies, p, attempt);
+                check_confirmation(
+                    tag, m,
+                    source.run_colocated(target, copies, p,
+                                         kConfirmRepOffset + attempt));
+                return m;
+              });
           maybe_abort();
         }
       }

@@ -1,0 +1,26 @@
+// Built with -fno-trapping-math -ffp-contract=off (see
+// linalg/CMakeLists.txt): the first lets the saturation clamp inside
+// fast_tanh if-convert so the loop vectorizes; the second keeps every
+// clone's arithmetic contraction-free, so wider clones differ from the
+// scalar fast_tanh only in lane count — never in rounding.
+#include "linalg/fast_math.hpp"
+
+namespace coloc::linalg {
+
+// Function multi-versioning: the loader picks the widest clone the CPU
+// supports (AVX2 / AVX-512 on x86-64 servers, baseline SSE2 otherwise).
+// Results are bit-identical across clones because contraction is off.
+#if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
+    !defined(__clang__)
+#define COLOC_VECTOR_TANH_CLONES \
+  __attribute__((target_clones("arch=haswell", "arch=x86-64-v4", "default")))
+#else
+#define COLOC_VECTOR_TANH_CLONES
+#endif
+
+COLOC_VECTOR_TANH_CLONES
+void vector_tanh(double* z, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) z[i] = fast_tanh(z[i]);
+}
+
+}  // namespace coloc::linalg

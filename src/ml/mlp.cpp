@@ -3,12 +3,35 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "linalg/fast_math.hpp"
 #include "ml/scg.hpp"
 
 namespace coloc::ml {
+
+namespace {
+
+// Per-thread batch scratch, reused across every loss_and_gradient /
+// forward_all call on this thread (SCG evaluates the objective hundreds of
+// times per fit; reallocating an m x hidden activations matrix each time
+// would dominate small-batch evaluations). Thread-locality keeps parallel
+// restarts and parallel validation partitions isolated; the buffers carry
+// no state between calls — every element is overwritten before use.
+struct BatchScratch {
+  linalg::Matrix activations;  // m x hidden: pre-activations, then tanh
+  linalg::Matrix w1t;          // inputs x hidden: W1 transposed for the GEMM
+
+  static BatchScratch& local() {
+    thread_local BatchScratch scratch;
+    return scratch;
+  }
+};
+
+}  // namespace
 
 MlpNetwork::MlpNetwork(std::size_t inputs, std::size_t hidden)
     : inputs_(inputs), hidden_(hidden) {
@@ -49,15 +72,132 @@ double MlpNetwork::forward(std::span<const double> x) const {
     double a = b1[h];
     const double* wrow = w1 + h * inputs_;
     for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * x[i];
-    out += w2[h] * std::tanh(a);
+    out += w2[h] * linalg::fast_tanh(a);
   }
   return out;
+}
+
+namespace {
+
+// Fills scratch.activations with tanh(X * W1^T + b1), one row per batch
+// row. Accumulation order per element matches MlpNetwork::forward exactly:
+// the pre-activation starts at b1[h] and adds the input terms in ascending
+// i, so the batched and rowwise paths are bit-identical. The i-inner-h
+// loop makes the innermost accesses sequential (and vectorizable) in the
+// activations row; W1 is transposed into scratch once per call (inputs x
+// hidden doubles — trivial next to the GEMM).
+void compute_activations(std::size_t inputs, std::size_t hidden,
+                         const double* w1, const double* b1,
+                         const linalg::Matrix& x, BatchScratch& scratch) {
+  const std::size_t m = x.rows();
+
+  linalg::Matrix& w1t = scratch.w1t;
+  if (w1t.rows() != inputs || w1t.cols() != hidden)
+    w1t = linalg::Matrix(inputs, hidden);
+  for (std::size_t h = 0; h < hidden; ++h)
+    for (std::size_t i = 0; i < inputs; ++i) w1t(i, h) = w1[h * inputs + i];
+
+  linalg::Matrix& act = scratch.activations;
+  if (act.rows() != m || act.cols() != hidden)
+    act = linalg::Matrix(m, hidden);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto xrow = x.row(r);
+    auto arow = act.row(r);
+    for (std::size_t h = 0; h < hidden; ++h) arow[h] = b1[h];
+    for (std::size_t i = 0; i < inputs; ++i) {
+      const double xri = xrow[i];
+      const auto wrow = w1t.row(i);
+      for (std::size_t h = 0; h < hidden; ++h) arow[h] += xri * wrow[h];
+    }
+  }
+  linalg::vector_tanh(act.data().data(), m * hidden);
+}
+
+}  // namespace
+
+void MlpNetwork::forward_all(const linalg::Matrix& x,
+                             std::span<double> out) const {
+  COLOC_CHECK_MSG(x.cols() == inputs_, "input width mismatch");
+  COLOC_CHECK_MSG(out.size() == x.rows(), "output size mismatch");
+  BatchScratch& scratch = BatchScratch::local();
+  compute_activations(inputs_, hidden_, params_.data() + w1_offset(),
+                      params_.data() + b1_offset(), x, scratch);
+  const double* w2 = params_.data() + w2_offset();
+  const double b2 = params_[b2_offset()];
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto arow = scratch.activations.row(r);
+    double o = b2;
+    for (std::size_t h = 0; h < hidden_; ++h) o += w2[h] * arow[h];
+    out[r] = o;
+  }
 }
 
 double MlpNetwork::loss_and_gradient(const linalg::Matrix& x,
                                      std::span<const double> y,
                                      double weight_decay,
                                      std::span<double> grad) const {
+  COLOC_CHECK_MSG(x.rows() == y.size(), "batch size mismatch");
+  COLOC_CHECK_MSG(x.cols() == inputs_, "input width mismatch");
+  COLOC_CHECK_MSG(grad.size() == params_.size(), "gradient size mismatch");
+  const std::size_t m = x.rows();
+  COLOC_CHECK_MSG(m > 0, "empty batch");
+
+  const double* w2 = params_.data() + w2_offset();
+  double* g_w1 = grad.data() + w1_offset();
+  double* g_b1 = grad.data() + b1_offset();
+  double* g_w2 = grad.data() + w2_offset();
+  double& g_b2 = grad[b2_offset()];
+  std::fill(grad.begin(), grad.end(), 0.0);
+
+  BatchScratch& scratch = BatchScratch::local();
+  compute_activations(inputs_, hidden_, params_.data() + w1_offset(),
+                      params_.data() + b1_offset(), x, scratch);
+  const linalg::Matrix& act = scratch.activations;
+
+  double loss = 0.0;
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double b2 = params_[b2_offset()];
+
+  // One fused sweep: the row's output, error, and every gradient
+  // contribution while its activations and inputs are cache-hot. Rows
+  // ascend and each accumulator adds its per-row term in the reference
+  // loop's exact order, so the result is bit-identical to
+  // loss_and_gradient_reference.
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto arow = act.row(r);
+    const auto xrow = x.row(r);
+    double out = b2;
+    for (std::size_t h = 0; h < hidden_; ++h) out += w2[h] * arow[h];
+    const double err = out - y[r];
+    loss += 0.5 * err * err;
+
+    const double d_out = err * inv_m;
+    g_b2 += d_out;
+    for (std::size_t h = 0; h < hidden_; ++h) {
+      g_w2[h] += d_out * arow[h];
+      const double d_a = d_out * w2[h] * (1.0 - arow[h] * arow[h]);
+      g_b1[h] += d_a;
+      double* grow = g_w1 + h * inputs_;
+      for (std::size_t i = 0; i < inputs_; ++i) grow[i] += d_a * xrow[i];
+    }
+  }
+  loss *= inv_m;
+
+  if (weight_decay > 0.0) {
+    double wnorm = 0.0;
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+      wnorm += params_[i] * params_[i];
+      grad[i] += weight_decay * params_[i];
+    }
+    loss += 0.5 * weight_decay * wnorm;
+  }
+  return loss;
+}
+
+double MlpNetwork::loss_and_gradient_reference(const linalg::Matrix& x,
+                                               std::span<const double> y,
+                                               double weight_decay,
+                                               std::span<double> grad) const {
   COLOC_CHECK_MSG(x.rows() == y.size(), "batch size mismatch");
   COLOC_CHECK_MSG(x.cols() == inputs_, "input width mismatch");
   COLOC_CHECK_MSG(grad.size() == params_.size(), "gradient size mismatch");
@@ -84,7 +224,7 @@ double MlpNetwork::loss_and_gradient(const linalg::Matrix& x,
       double a = b1[h];
       const double* wrow = w1 + h * inputs_;
       for (std::size_t i = 0; i < inputs_; ++i) a += wrow[i] * row[i];
-      act[h] = std::tanh(a);
+      act[h] = linalg::fast_tanh(a);
       out += w2[h] * act[h];
     }
     const double err = out - y[r];
@@ -145,13 +285,28 @@ MlpRegressor MlpRegressor::fit(const linalg::Matrix& x,
   TargetScaler target = TargetScaler::fit(y);
   const std::vector<double> z = target.transform_all(y);
 
-  Rng rng(options.seed);
-  MlpNetwork best(x.cols(), options.hidden_units);
-  double best_loss = std::numeric_limits<double>::infinity();
-  std::size_t best_iters = 0;
-
   const std::size_t restarts = std::max<std::size_t>(1, options.restarts);
-  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+
+  struct AttemptResult {
+    MlpNetwork net;
+    double loss = std::numeric_limits<double>::infinity();
+    std::size_t iterations = 0;
+  };
+
+  // One self-contained training run. Restart 0 draws from Rng(options.seed)
+  // exactly as a single fit always has; restart k > 0 uses an independent
+  // stream hashed from (seed, k). Every attempt is a pure function of its
+  // index, so the set of results — and the winner — cannot depend on
+  // thread count or completion order.
+  auto run_attempt = [&](std::size_t attempt) -> AttemptResult {
+    std::uint64_t seed = options.seed;
+    if (attempt != 0) {
+      std::uint64_t s =
+          options.seed ^ (0xa0761d6478bd642fULL *
+                          static_cast<std::uint64_t>(attempt));
+      seed = splitmix64(s);
+    }
+    Rng rng(seed);
     MlpNetwork net(x.cols(), options.hidden_units);
     net.initialize(rng);
 
@@ -171,25 +326,66 @@ MlpRegressor MlpRegressor::fit(const linalg::Matrix& x,
     const ScgResult res = scg_minimize(objective, p, scg_options);
     net.set_parameters(res.solution);
     const double final_loss = net.loss(design, z, options.weight_decay);
-    if (final_loss < best_loss) {
-      best_loss = final_loss;
-      best = net;
-      best_iters = res.iterations;
-    }
+    return AttemptResult{std::move(net), final_loss, res.iterations};
+  };
+
+  std::vector<std::optional<AttemptResult>> results(restarts);
+  const bool parallel = options.parallel_restarts && restarts > 1 &&
+                        global_pool().size() > 1 && !on_worker_thread();
+  if (parallel) {
+    parallel_for(
+        global_pool(), restarts,
+        [&](std::size_t attempt) { results[attempt] = run_attempt(attempt); },
+        1);
+  } else {
+    for (std::size_t attempt = 0; attempt < restarts; ++attempt)
+      results[attempt] = run_attempt(attempt);
   }
 
-  MlpRegressor model(std::move(best), std::move(scaler), std::move(target));
-  model.training_loss_ = best_loss;
-  model.iterations_used_ = best_iters;
+  // Strict < scans attempts in index order: ties go to the lowest index.
+  std::size_t best = 0;
+  for (std::size_t attempt = 1; attempt < restarts; ++attempt) {
+    if (results[attempt]->loss < results[best]->loss) best = attempt;
+  }
+
+  AttemptResult& winner = *results[best];
+  MlpRegressor model(std::move(winner.net), std::move(scaler),
+                     std::move(target));
+  model.training_loss_ = winner.loss;
+  model.iterations_used_ = winner.iterations;
   return model;
 }
 
 double MlpRegressor::predict(std::span<const double> features) const {
   COLOC_CHECK_MSG(features.size() == net_.num_inputs(),
                   "feature width mismatch in MlpRegressor::predict");
-  std::vector<double> row(features.begin(), features.end());
+  // Standardize into a stack buffer (feature vectors here are at most a
+  // few dozen wide) instead of allocating per call; predict sits inside
+  // per-partition validation loops.
+  constexpr std::size_t kMaxStackWidth = 64;
+  double stack_buf[kMaxStackWidth];
+  thread_local std::vector<double> overflow;
+  std::span<double> row;
+  if (features.size() <= kMaxStackWidth) {
+    row = std::span<double>(stack_buf, features.size());
+  } else {
+    overflow.resize(features.size());
+    row = overflow;
+  }
+  std::copy(features.begin(), features.end(), row.begin());
   scaler_.transform_row(row);
   return target_.inverse(net_.forward(row));
+}
+
+std::vector<double> MlpRegressor::predict_all(const linalg::Matrix& x) const {
+  COLOC_CHECK_MSG(x.cols() == net_.num_inputs(),
+                  "feature width mismatch in MlpRegressor::predict_all");
+  linalg::Matrix design = x;
+  scaler_.transform(design);  // standardize the whole design matrix once
+  std::vector<double> out(x.rows());
+  net_.forward_all(design, out);
+  for (double& v : out) v = target_.inverse(v);
+  return out;
 }
 
 std::string MlpRegressor::describe() const {

@@ -23,7 +23,14 @@ struct MlpOptions {
   double gradient_tolerance = 1e-7;
   std::uint64_t seed = 42;
   /// Restarts with different initializations; best training loss wins.
+  /// Restart 0 draws from Rng(seed) exactly as a single fit does; restart
+  /// k > 0 uses an independent stream derived from (seed, k), so results
+  /// do not depend on how many restarts run or in what order.
   std::size_t restarts = 1;
+  /// Run restarts concurrently on global_pool(). Results are identical
+  /// either way (per-restart RNG streams; ties broken by lowest restart
+  /// index); the flag exists so tests can pin the serial path.
+  bool parallel_restarts = true;
 };
 
 /// The bare network: packed parameters, forward pass, and the
@@ -47,12 +54,28 @@ class MlpNetwork {
   /// Forward pass for a single standardized input row.
   double forward(std::span<const double> x) const;
 
+  /// Batched forward pass: out[r] = forward(x.row(r)) for every row, via
+  /// one GEMM + one vectorized tanh sweep. Bit-identical to the row loop
+  /// (same per-element accumulation order). `out` must have x.rows()
+  /// entries. Reuses per-thread scratch across calls.
+  void forward_all(const linalg::Matrix& x, std::span<double> out) const;
+
   /// Mean-squared-error loss over the batch plus 0.5*decay*||w||^2, and its
   /// gradient with respect to the packed parameters (written into `grad`,
-  /// which must have num_parameters() entries).
+  /// which must have num_parameters() entries). Batched fast path: the
+  /// activations matrix comes from one GEMM + vector_tanh, and the backward
+  /// pass is a single fused sweep over rows. Bit-identical to
+  /// loss_and_gradient_reference.
   double loss_and_gradient(const linalg::Matrix& x,
                            std::span<const double> y, double weight_decay,
                            std::span<double> grad) const;
+
+  /// Reference oracle: the original row-at-a-time loop. Kept (and tested)
+  /// as the ground truth the batched path must reproduce exactly.
+  double loss_and_gradient_reference(const linalg::Matrix& x,
+                                     std::span<const double> y,
+                                     double weight_decay,
+                                     std::span<double> grad) const;
 
   /// Loss only (used by SCG line evaluations).
   double loss(const linalg::Matrix& x, std::span<const double> y,
@@ -78,6 +101,10 @@ class MlpRegressor final : public Regressor {
                           const MlpOptions& options = {});
 
   double predict(std::span<const double> features) const override;
+  /// Batched inference: standardizes the design matrix once and runs the
+  /// GEMM forward pass, instead of re-standardizing row by row. Returns
+  /// exactly what the per-row predict loop would.
+  std::vector<double> predict_all(const linalg::Matrix& x) const override;
   std::string describe() const override;
 
   /// Final training loss (standardized units) — exposed for diagnostics.

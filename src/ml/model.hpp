@@ -18,7 +18,11 @@ class Regressor {
 
   virtual double predict(std::span<const double> features) const = 0;
 
-  std::vector<double> predict_all(const linalg::Matrix& x) const {
+  /// Predicts every row of `x`. The default loops over predict();
+  /// implementations with a cheaper batched path (e.g. MlpRegressor's
+  /// GEMM-based forward) override it. Overrides must return exactly what
+  /// the row-by-row loop would.
+  virtual std::vector<double> predict_all(const linalg::Matrix& x) const {
     std::vector<double> out(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
     return out;

@@ -9,9 +9,11 @@
 
 namespace coloc::obs {
 
-namespace {
+namespace detail {
+std::atomic<TraceSink*> g_trace_sink{nullptr};
+}  // namespace detail
 
-std::atomic<TraceSink*> g_sink{nullptr};
+namespace {
 
 // Bumped on every install() so a thread's cached buffer registration can
 // never alias a new sink allocated at a recycled address.
@@ -54,18 +56,14 @@ TraceSink::~TraceSink() {
   if (current() == this) uninstall();
 }
 
-TraceSink* TraceSink::current() {
-  return g_sink.load(std::memory_order_acquire);
-}
-
 void TraceSink::install() {
   trace_epoch();  // pin the epoch before the first span
   g_generation.fetch_add(1, std::memory_order_relaxed);
-  g_sink.store(this, std::memory_order_release);
+  detail::g_trace_sink.store(this, std::memory_order_release);
 }
 
 void TraceSink::uninstall() {
-  g_sink.store(nullptr, std::memory_order_release);
+  detail::g_trace_sink.store(nullptr, std::memory_order_release);
 }
 
 TraceSink::ThreadBuffer& TraceSink::buffer_for_this_thread() {
@@ -167,15 +165,12 @@ bool TraceSink::write_csv(const std::string& path) const {
   return static_cast<bool>(os);
 }
 
-ScopedSpan::ScopedSpan(const char* name, const char* category)
-    : sink_(TraceSink::current()), name_(name), category_(category) {
-  if (sink_ == nullptr) return;
+void ScopedSpan::begin() {
   start_ns_ = trace_now_ns();
   ++t_depth;
 }
 
-ScopedSpan::~ScopedSpan() {
-  if (sink_ == nullptr) return;
+void ScopedSpan::end() {
   const std::uint64_t end_ns = trace_now_ns();
   const std::uint32_t depth = --t_depth;
   // The sink may have been swapped while the span was open; record on the

@@ -12,6 +12,7 @@
 // a chrome://tracing-compatible JSON file and/or a flat CSV.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -20,6 +21,16 @@
 #include <vector>
 
 namespace coloc::obs {
+
+class TraceSink;
+
+namespace detail {
+/// The installed sink. Exposed (as an implementation detail) so the
+/// disabled-tracing check in ScopedSpan's constructor inlines to a single
+/// atomic load + branch — spans sit inside per-partition and per-solve
+/// hot loops, where an out-of-line call per span would be measurable.
+extern std::atomic<TraceSink*> g_trace_sink;
+}  // namespace detail
 
 /// One completed span. Timestamps are nanoseconds on a process-wide
 /// steady clock (comparable across threads and sinks).
@@ -49,7 +60,9 @@ class TraceSink {
   TraceSink& operator=(const TraceSink&) = delete;
 
   /// The installed sink, or nullptr when tracing is disabled.
-  static TraceSink* current();
+  static TraceSink* current() {
+    return detail::g_trace_sink.load(std::memory_order_acquire);
+  }
   /// Makes this sink the destination for new spans.
   void install();
   /// Disables tracing (the sink keeps its recorded events).
@@ -80,15 +93,27 @@ class TraceSink {
 
 /// RAII span: records [construction, destruction) on the current sink.
 /// `name` and `category` must outlive the span (string literals in
-/// practice). No-op when no sink is installed at construction.
+/// practice). No-op when no sink is installed at construction: the
+/// enabled check inlines to one atomic load and a never-taken branch —
+/// no timestamp is read and nothing else is touched — so spans can sit
+/// in hot loops unconditionally.
 class ScopedSpan {
  public:
-  explicit ScopedSpan(const char* name, const char* category = "");
-  ~ScopedSpan();
+  explicit ScopedSpan(const char* name, const char* category = "")
+      : sink_(TraceSink::current()), name_(name), category_(category) {
+    if (sink_ != nullptr) begin();
+  }
+  ~ScopedSpan() {
+    if (sink_ != nullptr) end();
+  }
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
  private:
+  /// Out-of-line slow path, entered only while a sink is installed.
+  void begin();
+  void end();
+
   TraceSink* sink_;
   const char* name_;
   const char* category_;

@@ -13,6 +13,8 @@ struct SimMetrics {
   obs::Counter& runs;
   obs::Counter& instructions;
   obs::Counter& contention_solves;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
 
   static SimMetrics& get() {
     auto& registry = obs::Registry::global();
@@ -20,6 +22,8 @@ struct SimMetrics {
         registry.counter("sim_runs_total"),
         registry.counter("sim_instructions_total"),
         registry.counter("sim_contention_solves_total"),
+        registry.counter("sim_solve_cache_hits_total"),
+        registry.counter("sim_solve_cache_misses_total"),
     };
     return metrics;
   }
@@ -59,17 +63,44 @@ ContentionSolution Simulator::solve(const std::vector<ApplicationSpec>& apps,
                                     std::size_t pstate_index) const {
   COLOC_CHECK_MSG(pstate_index < machine_.pstates.size(),
                   "P-state index out of range");
+  SimMetrics& metrics = SimMetrics::get();
+
+  // Memo key: P-state plus the ordered app-name sequence (\x1f-separated;
+  // the separator cannot appear in app names). Order-exact on purpose —
+  // see the solve() contract in execution.hpp.
+  std::string key = std::to_string(pstate_index);
+  for (const auto& app : apps) {
+    key.push_back('\x1f');
+    key.append(app.name);
+  }
+  CacheShard& shard =
+      solve_cache_[std::hash<std::string>{}(key) % kCacheShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      metrics.cache_hits.inc();
+      return it->second;
+    }
+  }
+  metrics.cache_misses.inc();
+
   obs::ScopedSpan span("sim/solve_contention", "sim");
-  SimMetrics::get().contention_solves.inc();
+  metrics.contention_solves.inc();
   std::vector<ScheduledApp> scheduled;
   scheduled.reserve(apps.size());
   for (const auto& app : apps) {
     scheduled.push_back(
         ScheduledApp{&app, &library_->curve(app)});
   }
-  return solve_contention(machine_,
-                          machine_.pstates[pstate_index].frequency_ghz,
-                          scheduled, options_.contention);
+  ContentionSolution solution =
+      solve_contention(machine_, machine_.pstates[pstate_index].frequency_ghz,
+                       scheduled, options_.contention);
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.emplace(key, solution);
+  }
+  return solution;
 }
 
 RunMeasurement Simulator::measure(const ApplicationSpec& target,

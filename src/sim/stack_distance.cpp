@@ -1,6 +1,7 @@
 #include "sim/stack_distance.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/error.hpp"
 
@@ -78,28 +79,28 @@ StackDistanceProfiler profile_trace(std::span<const LineAddress> trace) {
 
 std::vector<std::uint64_t> brute_force_stack_distances(
     std::span<const LineAddress> trace) {
+  // Still "brute force" relative to the Fenwick profiler — the distinct
+  // count rescans the reuse window — but a hash map of last-access
+  // positions replaces the backward scan for the previous access, and a
+  // hash set replaces the linear-probe distinct count, taking the oracle
+  // from O(n^3) to O(n * w) for reuse windows of width w. That keeps it
+  // usable as a cross-check on the large randomized traces in tests.
   std::vector<std::uint64_t> out;
   out.reserve(trace.size());
+  std::unordered_map<LineAddress, std::size_t> last_access;
+  last_access.reserve(trace.size());
+  std::unordered_set<LineAddress> seen;
   for (std::size_t i = 0; i < trace.size(); ++i) {
-    // Find the previous access to the same line, then count distinct lines
-    // in between.
-    std::size_t prev = trace.size();
-    for (std::size_t j = i; j-- > 0;) {
-      if (trace[j] == trace[i]) {
-        prev = j;
-        break;
-      }
-    }
-    if (prev == trace.size()) {
+    const auto it = last_access.find(trace[i]);
+    if (it == last_access.end()) {
       out.push_back(kColdMiss);
+      last_access.emplace(trace[i], i);
       continue;
     }
-    std::vector<LineAddress> seen;
-    for (std::size_t j = prev + 1; j < i; ++j) {
-      if (std::find(seen.begin(), seen.end(), trace[j]) == seen.end())
-        seen.push_back(trace[j]);
-    }
+    seen.clear();
+    for (std::size_t j = it->second + 1; j < i; ++j) seen.insert(trace[j]);
     out.push_back(seen.size());
+    it->second = i;
   }
   return out;
 }

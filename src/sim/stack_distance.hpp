@@ -77,7 +77,9 @@ class StackDistanceProfiler {
 /// One-shot helper: profiles a whole trace.
 StackDistanceProfiler profile_trace(std::span<const LineAddress> trace);
 
-/// Brute-force stack distance for verification in tests: O(n^2).
+/// Brute-force stack distance for verification in tests: a hash map of
+/// last-access positions plus a hash-set distinct count over each reuse
+/// window — O(n * w) for window width w, versus the profiler's O(n log n).
 std::vector<std::uint64_t> brute_force_stack_distances(
     std::span<const LineAddress> trace);
 

@@ -1,0 +1,124 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace coloc::linalg {
+namespace {
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-3.0, 3.0);
+  return m;
+}
+
+// The tiled/threaded matmul preserves the naive loop's per-element
+// accumulation order (k ascends within and across tiles), so the two must
+// agree bit for bit — on any shape, including odd ones that leave ragged
+// tile and row-block remainders, and at any thread count.
+TEST(BlockedMatmulTest, MatchesNaiveBitForBitOnOddShapes) {
+  Rng rng(33);
+  const std::size_t shapes[][3] = {
+      {1, 1, 1},   {1, 17, 3},   {5, 7, 11},    {17, 31, 23},
+      {33, 65, 9}, {64, 64, 64}, {70, 129, 65}, {128, 3, 127}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s[0], s[1], rng);
+    const Matrix b = random_matrix(s[1], s[2], rng);
+    const Matrix fast = matmul(a, b);
+    const Matrix ref = matmul_naive(a, b);
+    ASSERT_EQ(fast.rows(), ref.rows());
+    ASSERT_EQ(fast.cols(), ref.cols());
+    for (std::size_t i = 0; i < fast.data().size(); ++i)
+      ASSERT_EQ(fast.data()[i], ref.data()[i])
+          << s[0] << "x" << s[1] << "x" << s[2] << " elem " << i;
+  }
+}
+
+TEST(BlockedMatmulTest, SparseRowsTakeTheSameSkipPath) {
+  // matmul_naive skips aik == 0.0 terms; the tiled loop must mirror the
+  // skip or zero-heavy inputs would accumulate in a different order.
+  Rng rng(34);
+  Matrix a = random_matrix(19, 27, rng);
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); k += 3) a(i, k) = 0.0;
+  const Matrix b = random_matrix(27, 13, rng);
+  const Matrix fast = matmul(a, b);
+  const Matrix ref = matmul_naive(a, b);
+  for (std::size_t i = 0; i < fast.data().size(); ++i)
+    ASSERT_EQ(fast.data()[i], ref.data()[i]);
+}
+
+TEST(BlockedMatmulTest, TransposedMatchesExplicitTranspose) {
+  Rng rng(35);
+  const std::size_t shapes[][3] = {{3, 5, 7}, {17, 9, 31}, {40, 33, 20}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s[0], s[1], rng);
+    const Matrix bt = random_matrix(s[2], s[1], rng);  // b already transposed
+    const Matrix got = matmul_transposed(a, bt);
+    const Matrix expect = matmul_naive(a, bt.transposed());
+    ASSERT_EQ(got.rows(), s[0]);
+    ASSERT_EQ(got.cols(), s[2]);
+    for (std::size_t i = 0; i < got.rows(); ++i)
+      for (std::size_t j = 0; j < got.cols(); ++j)
+        ASSERT_NEAR(got(i, j), expect(i, j), 1e-12);
+  }
+}
+
+TEST(BlockedMatmulTest, GemvMatchesMatmulColumn) {
+  Rng rng(36);
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{13},
+                                 std::size_t{64}, std::size_t{257}}) {
+    const std::size_t cols = rows % 2 == 0 ? rows + 3 : rows;
+    const Matrix a = random_matrix(rows, cols, rng);
+    std::vector<double> x(cols);
+    for (double& v : x) v = rng.uniform(-2.0, 2.0);
+    std::vector<double> y(rows, -7.0);  // pre-fill: gemv must overwrite
+    gemv(a, x, y);
+    for (std::size_t i = 0; i < rows; ++i) {
+      double expect = 0.0;
+      for (std::size_t j = 0; j < cols; ++j) expect += a(i, j) * x[j];
+      ASSERT_NEAR(y[i], expect, 1e-12 * (1.0 + std::abs(expect)))
+          << "rows=" << rows << " i=" << i;
+    }
+  }
+}
+
+TEST(BlockedMatmulTest, LargeParallelProductMatchesNaive) {
+  // Big enough to clear the kParallelFlops gate so the pool path engages
+  // on multi-core hosts; on single-core hosts this pins the serial-tile
+  // path. Either way the result must equal the naive loop exactly.
+  Rng rng(37);
+  const Matrix a = random_matrix(150, 90, rng);
+  const Matrix b = random_matrix(90, 110, rng);
+  const Matrix fast = matmul(a, b);
+  const Matrix ref = matmul_naive(a, b);
+  for (std::size_t i = 0; i < fast.data().size(); ++i)
+    ASSERT_EQ(fast.data()[i], ref.data()[i]);
+}
+
+TEST(BlockedMatmulTest, SerialFallbackInsideWorkerThread) {
+  // A matmul issued from a pool worker must not fan out again (a nested
+  // blocking parallel_for would deadlock a single worker). Run one on a
+  // private pool's worker and check the answer is still exact.
+  Rng rng(38);
+  const Matrix a = random_matrix(96, 64, rng);
+  const Matrix b = random_matrix(64, 80, rng);
+  const Matrix expect = matmul_naive(a, b);
+  ThreadPool pool(1);
+  Matrix from_worker(1, 1);
+  pool.submit([&] {
+        EXPECT_TRUE(on_worker_thread());
+        from_worker = matmul(a, b);
+      })
+      .get();
+  EXPECT_FALSE(on_worker_thread());
+  for (std::size_t i = 0; i < expect.data().size(); ++i)
+    ASSERT_EQ(from_worker.data()[i], expect.data()[i]);
+}
+
+}  // namespace
+}  // namespace coloc::linalg

@@ -1,0 +1,75 @@
+#include "linalg/fast_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace coloc::linalg {
+namespace {
+
+bool same_bits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(FastMathTest, MatchesStdTanhAcrossRange) {
+  // Dense sweep over the active range plus the saturated tails. fast_tanh
+  // is its own definition of tanh for this codebase (both the scalar and
+  // batched MLP paths use it), but it must stay within a few ulp of libm.
+  double worst = 0.0;
+  for (int i = -80000; i <= 80000; ++i) {
+    const double x = static_cast<double>(i) / 4000.0;  // [-20, 20]
+    const double ref = std::tanh(x);
+    const double got = fast_tanh(x);
+    const double denom = std::max(std::abs(ref),
+                                  std::numeric_limits<double>::min());
+    worst = std::max(worst, std::abs(got - ref) / denom);
+  }
+  EXPECT_LT(worst, 1e-14);
+}
+
+TEST(FastMathTest, SpecialValues) {
+  EXPECT_TRUE(same_bits(fast_tanh(0.0), 0.0));
+  EXPECT_TRUE(same_bits(fast_tanh(-0.0), -0.0));
+  EXPECT_DOUBLE_EQ(fast_tanh(100.0), 1.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(-100.0), -1.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(fast_tanh(-std::numeric_limits<double>::infinity()), -1.0);
+}
+
+TEST(FastMathTest, OddSymmetry) {
+  Rng rng(21);
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform(-25.0, 25.0);
+    EXPECT_TRUE(same_bits(fast_tanh(-x), -fast_tanh(x))) << "x=" << x;
+  }
+}
+
+TEST(FastMathTest, VectorTanhBitIdenticalToScalar) {
+  // The batched MLP path applies vector_tanh where the rowwise reference
+  // applies fast_tanh; their bit-for-bit agreement (across whichever SIMD
+  // clone the loader dispatched to) is what makes the two paths identical.
+  Rng rng(22);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                              std::size_t{1023}, std::size_t{4096}}) {
+    std::vector<double> v(n), expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = rng.uniform(-30.0, 30.0);
+      expect[i] = fast_tanh(v[i]);
+    }
+    vector_tanh(v.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_TRUE(same_bits(v[i], expect[i])) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(FastMathTest, VectorTanhHandlesEmpty) {
+  vector_tanh(nullptr, 0);  // must be a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace coloc::linalg

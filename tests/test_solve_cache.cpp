@@ -1,0 +1,107 @@
+// Contention-solve memoization: repeated identical workloads must be
+// served from the Simulator's cache with bit-identical results, and the
+// hit/miss counters in the global metrics registry must track the traffic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "sim/execution.hpp"
+
+namespace coloc::sim {
+namespace {
+
+ApplicationSpec tiny_app(const std::string& name, std::size_t ws,
+                         double compulsory) {
+  ApplicationSpec a;
+  a.name = name;
+  a.instructions = 150e9;
+  a.cpi_base = 0.8;
+  a.refs_per_instruction = 0.03;
+  a.mlp = 2.0;
+  a.compulsory_misses_per_instruction = compulsory;
+  Phase p;
+  p.working_set_lines = ws;
+  p.mix = {.hot_cold = 0.6, .pointer = 0.4};
+  a.trace.phases = {p};
+  a.trace.name = name;
+  a.profile_references = 120'000;
+  return a;
+}
+
+class SolveCacheTest : public ::testing::Test {
+ protected:
+  SolveCacheTest()
+      : loud_(tiny_app("loud", 300'000, 4e-3)),
+        quiet_(tiny_app("quiet", 3'000, 1e-6)),
+        simulator_(xeon_e5649(), &library_) {}
+
+  std::uint64_t hits() const {
+    return obs::Registry::global().counter("sim_solve_cache_hits_total")
+        .value();
+  }
+  std::uint64_t misses() const {
+    return obs::Registry::global().counter("sim_solve_cache_misses_total")
+        .value();
+  }
+
+  AppMrcLibrary library_;
+  ApplicationSpec loud_;
+  ApplicationSpec quiet_;
+  Simulator simulator_;
+};
+
+TEST_F(SolveCacheTest, RepeatedColocationIsBitIdentical) {
+  const std::vector<ApplicationSpec> coapps(2, quiet_);
+  const RunMeasurement cold = simulator_.run_colocated(loud_, coapps, 0, 5);
+  const RunMeasurement warm = simulator_.run_colocated(loud_, coapps, 0, 5);
+  EXPECT_EQ(cold.execution_time_s, warm.execution_time_s);
+  EXPECT_EQ(cold.counters.get(PresetEvent::kLlcMisses),
+            warm.counters.get(PresetEvent::kLlcMisses));
+  EXPECT_EQ(cold.counters.get(PresetEvent::kLlcAccesses),
+            warm.counters.get(PresetEvent::kLlcAccesses));
+}
+
+TEST_F(SolveCacheTest, SecondSolveHitsTheCache) {
+  // Counters are global and cumulative, so measure deltas.
+  const std::vector<ApplicationSpec> coapps(3, quiet_);
+  const std::uint64_t h0 = hits(), m0 = misses();
+  simulator_.run_colocated(loud_, coapps, 1, 1);
+  const std::uint64_t h1 = hits(), m1 = misses();
+  EXPECT_EQ(m1, m0 + 1);  // cold: one solve, one miss
+  EXPECT_EQ(h1, h0);
+  simulator_.run_colocated(loud_, coapps, 1, 2);
+  EXPECT_EQ(misses(), m1);  // warm: served from cache
+  EXPECT_EQ(hits(), h1 + 1);
+}
+
+TEST_F(SolveCacheTest, KeyDistinguishesPstateCountAndOrder) {
+  const std::uint64_t m0 = misses();
+  const std::vector<ApplicationSpec> two_quiet(2, quiet_);
+  simulator_.run_colocated(loud_, two_quiet, 0, 1);
+  simulator_.run_colocated(loud_, two_quiet, 1, 1);      // new P-state
+  const std::vector<ApplicationSpec> three_quiet(3, quiet_);
+  simulator_.run_colocated(loud_, three_quiet, 0, 1);    // new count
+  const std::vector<ApplicationSpec> mixed{quiet_, loud_};
+  const std::vector<ApplicationSpec> swapped{loud_, quiet_};
+  simulator_.run_colocated(loud_, mixed, 0, 1);
+  simulator_.run_colocated(loud_, swapped, 0, 1);        // order matters
+  EXPECT_EQ(misses(), m0 + 5);
+}
+
+TEST_F(SolveCacheTest, CachedSolutionMatchesAFreshSimulator) {
+  // Same machine/library/seed, fresh (empty) cache: a simulator that has
+  // never seen the workload must agree bitwise with a warmed-up one.
+  const std::vector<ApplicationSpec> coapps{quiet_, loud_};
+  simulator_.run_colocated(loud_, coapps, 0, 4);  // warm the cache
+  const RunMeasurement cached =
+      simulator_.run_colocated(loud_, coapps, 0, 4);
+  Simulator fresh(xeon_e5649(), &library_);
+  const RunMeasurement cold = fresh.run_colocated(loud_, coapps, 0, 4);
+  EXPECT_EQ(cached.execution_time_s, cold.execution_time_s);
+  EXPECT_EQ(cached.counters.get(PresetEvent::kLlcMisses),
+            cold.counters.get(PresetEvent::kLlcMisses));
+}
+
+}  // namespace
+}  // namespace coloc::sim
