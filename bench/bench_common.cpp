@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 
 namespace coloc::bench {
 
@@ -16,6 +17,8 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.seed = static_cast<std::uint64_t>(
       args.get_int("seed", static_cast<std::int64_t>(config.seed)));
   config.quick = args.get_bool("quick", false);
+  config.jobs = static_cast<std::size_t>(args.get_int("jobs", 0));
+  if (config.jobs != 0) set_configured_jobs(config.jobs);
   config.metrics_out = args.get("metrics-out", "");
   config.trace_out = args.get("trace-out", "");
   config.fault_rate = args.get_double("fault-rate", config.fault_rate);
@@ -73,6 +76,7 @@ core::EvaluationConfig HarnessConfig::evaluation() const {
   core::EvaluationConfig eval;
   eval.validation.partitions = partitions;
   eval.validation.holdout_fraction = 0.3;  // paper: 30% withheld
+  eval.validation.jobs = jobs;
   eval.zoo.mlp.max_iterations = nn_iterations;
   eval.zoo.mlp.weight_decay = 1e-6;
   eval.zoo.mlp.restarts = 1;
@@ -87,6 +91,7 @@ MachineExperiment::MachineExperiment(sim::MachineConfig machine,
       plan_(config.fault_plan()), injector_(simulator_, plan_) {
   COLOC_LOG_INFO << "profiling application traces for " << machine_.name;
   core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
+  campaign_config.jobs = config_.jobs;
   if (config_.quick) {
     campaign_config.pstate_indices = {0,
                                       machine_.pstates.size() - 1};

@@ -4,6 +4,9 @@
 //   --nn-iters=N        SCG iterations per network (default 1500)
 //   --seed=N            master seed for the simulated testbed noise
 //   --quick             tiny configuration for smoke runs
+//   --jobs=N            worker threads for campaign + validation
+//                       (0 = auto; overrides COLOC_JOBS; results are
+//                       bit-identical at any value)
 //   --metrics-out=FILE  write a metrics snapshot at exit (.json or text)
 //   --trace-out=FILE    write a chrome://tracing span file (+ CSV twin)
 //
@@ -37,6 +40,10 @@ struct HarnessConfig {
   std::size_t nn_iterations = 1500;
   std::uint64_t seed = 99;
   bool quick = false;
+  /// --jobs: worker threads for the campaign and validation stages.
+  /// 0 = auto (COLOC_JOBS env, else hardware concurrency). A non-zero
+  /// value also becomes the process-wide coloc::configured_jobs().
+  std::size_t jobs = 0;
   std::string metrics_out;  // --metrics-out
   std::string trace_out;    // --trace-out
   std::string program = "bench";

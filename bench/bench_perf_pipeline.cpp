@@ -15,9 +15,16 @@
 //   gate batched_loss_vs_reference batched loss/grad == rowwise oracle
 //   gate fast_vs_legacy_mpe/nrmse  validation metrics match the replica
 //   gate solve_cache_bit_identical cached contention solve == cold solve
+//   gate campaign_parallel_bit_identical  parallel campaign == serial sweep
+//   gate zoo_parallel_bit_identical       parallel 12-model zoo == serial
+//
+// The campaign and model-zoo stages are additionally timed serial vs.
+// parallel (--jobs / COLOC_JOBS workers) and the speedups reported; on a
+// single-core host both arms time about the same, by design — the gates
+// still verify the orchestration is byte-equivalent.
 //
 // Run the headline number (Release build):
-//   ./build/bench/bench_perf_pipeline --partitions=100
+//   ./build/bench/bench_perf_pipeline --partitions=100 --jobs=0
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -29,6 +36,7 @@
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/dataset.hpp"
 #include "ml/mlp.hpp"
@@ -248,22 +256,106 @@ int main(int argc, char** argv) {
               profile_s, trace.size(),
               static_cast<unsigned long long>(profiler.cold_misses()));
 
-  // --- Stage 2: collection campaign (Table V sweep on the 6-core Xeon).
+  // --- Stage 2: collection campaign (Table V sweep on the 6-core Xeon),
+  // serial vs. task-parallel. Each arm gets a fresh simulator so neither
+  // benefits from the other's contention-solve cache; the sequenced
+  // collector guarantees the two datasets are byte-identical.
+  const std::size_t jobs = config.jobs != 0 ? config.jobs : configured_jobs();
   const sim::MachineConfig machine = sim::xeon_e5649();
-  sim::AppMrcLibrary library;
-  sim::MeasurementOptions measurement;
-  measurement.seed = config.seed;
-  sim::Simulator testbed(machine, &library, measurement);
   core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
   if (config.quick)
     campaign_config.pstate_indices = {0, machine.pstates.size() - 1};
+
+  sim::MeasurementOptions measurement;
+  measurement.seed = config.seed;
+
+  campaign_config.jobs = 1;
+  sim::AppMrcLibrary serial_library;
+  sim::Simulator serial_testbed(machine, &serial_library, measurement);
+  serial_library.profile_all(campaign_config.targets);
+  t0 = std::chrono::steady_clock::now();
+  const core::CampaignResult campaign_serial =
+      core::run_campaign(serial_testbed, campaign_config);
+  const double campaign_serial_s = seconds_since(t0);
+  std::printf("campaign (serial)    : %8.3f s  (%zu rows)\n",
+              campaign_serial_s, campaign_serial.dataset.num_rows());
+
+  campaign_config.jobs = jobs;
+  sim::AppMrcLibrary library;
+  sim::Simulator testbed(machine, &library, measurement);
   library.profile_all(campaign_config.targets);
   t0 = std::chrono::steady_clock::now();
   const core::CampaignResult campaign =
       core::run_campaign(testbed, campaign_config);
   const double campaign_s = seconds_since(t0);
-  std::printf("campaign collection  : %8.3f s  (%zu rows)\n", campaign_s,
-              campaign.dataset.num_rows());
+  const double campaign_speedup =
+      campaign_s > 0.0 ? campaign_serial_s / campaign_s : 0.0;
+  std::printf("campaign (jobs=%zu)   : %8.3f s  (%.2fx vs serial)\n", jobs,
+              campaign_s, campaign_speedup);
+
+  bool campaign_identical =
+      campaign.dataset.num_rows() == campaign_serial.dataset.num_rows();
+  for (std::size_t r = 0; campaign_identical &&
+                          r < campaign.dataset.num_rows(); ++r) {
+    campaign_identical =
+        bitwise_equal(campaign.dataset.target(r),
+                      campaign_serial.dataset.target(r)) &&
+        campaign.dataset.tag(r) == campaign_serial.dataset.tag(r);
+    const auto a = campaign.dataset.features(r);
+    const auto b = campaign_serial.dataset.features(r);
+    for (std::size_t c = 0; campaign_identical && c < a.size(); ++c)
+      campaign_identical = bitwise_equal(a[c], b[c]);
+  }
+
+  // --- Stage 2b: the 12-model evaluation zoo, serial vs. flattened batch
+  // across the pool. Reduced partition/iteration counts keep the stage
+  // proportionate; the equivalence gate is what matters on slow runners.
+  core::EvaluationConfig zoo_config = config.evaluation();
+  zoo_config.validation.partitions = std::min<std::size_t>(config.partitions,
+                                                           10);
+  zoo_config.zoo.mlp.max_iterations =
+      std::min<std::size_t>(config.nn_iterations, 300);
+
+  zoo_config.validation.parallel = false;
+  t0 = std::chrono::steady_clock::now();
+  const core::EvaluationSuite zoo_serial =
+      core::evaluate_model_zoo(campaign.dataset, zoo_config);
+  const double zoo_serial_s = seconds_since(t0);
+  std::printf("model zoo (serial)   : %8.3f s  (12 models, %zu partitions)\n",
+              zoo_serial_s, zoo_config.validation.partitions);
+
+  zoo_config.validation.parallel = true;
+  zoo_config.validation.jobs = jobs;
+  t0 = std::chrono::steady_clock::now();
+  const core::EvaluationSuite zoo_parallel =
+      core::evaluate_model_zoo(campaign.dataset, zoo_config);
+  const double zoo_parallel_s = seconds_since(t0);
+  const double zoo_speedup =
+      zoo_parallel_s > 0.0 ? zoo_serial_s / zoo_parallel_s : 0.0;
+  std::printf("model zoo (jobs=%zu)  : %8.3f s  (%.2fx vs serial)\n", jobs,
+              zoo_parallel_s, zoo_speedup);
+
+  bool zoo_identical =
+      zoo_serial.evaluations.size() == zoo_parallel.evaluations.size();
+  for (std::size_t i = 0; zoo_identical && i < zoo_serial.evaluations.size();
+       ++i) {
+    const auto& a = zoo_serial.evaluations[i].result;
+    const auto& b = zoo_parallel.evaluations[i].result;
+    zoo_identical = bitwise_equal(a.test_mpe, b.test_mpe) &&
+                    bitwise_equal(a.train_mpe, b.train_mpe) &&
+                    bitwise_equal(a.test_nrmse, b.test_nrmse) &&
+                    bitwise_equal(a.train_nrmse, b.train_nrmse);
+  }
+
+  const double end_to_end_serial_s = campaign_serial_s + zoo_serial_s;
+  const double end_to_end_parallel_s = campaign_s + zoo_parallel_s;
+  const double end_to_end_speedup =
+      end_to_end_parallel_s > 0.0
+          ? end_to_end_serial_s / end_to_end_parallel_s
+          : 0.0;
+  std::printf("end-to-end           : %8.3f s serial, %.3f s parallel "
+              "(%.2fx)\n",
+              end_to_end_serial_s, end_to_end_parallel_s, end_to_end_speedup);
 
   // --- Stage 3: set-F MLP validation, fast path vs pre-PR replica.
   // Both arms share one MlpOptions so the comparison isolates the
@@ -347,6 +439,14 @@ int main(int argc, char** argv) {
   gates.push_back({"fast_vs_legacy_test_nrmse_pp",
                    std::abs(fast.test_nrmse - legacy.test_nrmse), 0.25});
 
+  // (e) the task-parallel orchestration layers must be byte-equivalent to
+  // their serial counterparts: the campaign's sequenced collector and the
+  // flattened model-zoo batch.
+  gates.push_back({"campaign_parallel_bit_identical",
+                   campaign_identical ? 0.0 : 1.0, 0.0});
+  gates.push_back({"zoo_parallel_bit_identical", zoo_identical ? 0.0 : 1.0,
+                   0.0});
+
   {  // (d) memoized contention solve must be bit-identical to a cold solve.
     const sim::ApplicationSpec cg = sim::find_application("cg");
     const std::vector<sim::ApplicationSpec> coapps(3, cg);
@@ -391,11 +491,20 @@ int main(int argc, char** argv) {
        << "  \"partitions\": " << validation.partitions << ",\n"
        << "  \"nn_iterations\": " << mlp.max_iterations << ",\n"
        << "  \"seed\": " << config.seed << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
        << "  \"timings_s\": {\n"
        << "    \"trace_profile\": " << profile_s << ",\n"
-       << "    \"campaign\": " << campaign_s << ",\n"
+       << "    \"campaign_serial\": " << campaign_serial_s << ",\n"
+       << "    \"campaign_parallel\": " << campaign_s << ",\n"
+       << "    \"zoo_serial\": " << zoo_serial_s << ",\n"
+       << "    \"zoo_parallel\": " << zoo_parallel_s << ",\n"
+       << "    \"end_to_end_serial\": " << end_to_end_serial_s << ",\n"
+       << "    \"end_to_end_parallel\": " << end_to_end_parallel_s << ",\n"
        << "    \"validation_legacy\": " << legacy_s << ",\n"
        << "    \"validation_fast\": " << fast_s << "\n  },\n"
+       << "  \"campaign_speedup\": " << campaign_speedup << ",\n"
+       << "  \"zoo_speedup\": " << zoo_speedup << ",\n"
+       << "  \"end_to_end_speedup\": " << end_to_end_speedup << ",\n"
        << "  \"validation_speedup\": " << speedup << ",\n"
        << "  \"fast\": {\"test_mpe\": " << fast.test_mpe
        << ", \"test_nrmse\": " << fast.test_nrmse << "},\n"

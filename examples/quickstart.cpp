@@ -13,6 +13,11 @@
 //   --metrics-out m.json   dump the metrics registry at exit
 //   --trace-out t.json     dump spans for chrome://tracing (+ t.csv)
 //
+// Performance flags (see the Performance section in README.md):
+//   --jobs=N               worker threads for the campaign + validation
+//                          (0 = auto; overrides COLOC_JOBS; output is
+//                          bit-identical at any value)
+//
 // Robustness flags (see the Robustness section in README.md):
 //   --fault-rate=P         inject measurement faults at rate P (also
 //                          settable via COLOC_FAULT_RATE)
@@ -22,6 +27,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/thread_pool.hpp"
 #include "core/methodology.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -32,6 +38,9 @@ int main(int argc, char** argv) {
   using namespace coloc;
 
   const CliArgs args(argc, argv);
+  const std::size_t jobs =
+      static_cast<std::size_t>(args.get_int("jobs", 0));
+  if (jobs != 0) set_configured_jobs(jobs);
   obs::ObsOptions obs_options;
   obs_options.metrics_out = args.get("metrics-out", "");
   obs_options.trace_out = args.get("trace-out", "");
@@ -67,8 +76,9 @@ int main(int argc, char** argv) {
   // 3. Training campaign (Table V sweep) + model training.
   std::printf("collecting training campaign on %s...\n",
               machine.name.c_str());
-  const core::CampaignConfig campaign_config =
+  core::CampaignConfig campaign_config =
       core::CampaignConfig::paper_defaults();
+  campaign_config.jobs = jobs;
   library.profile_all(campaign_config.targets);
   const core::CampaignResult campaign =
       core::run_campaign(source, campaign_config, robustness);
@@ -87,6 +97,7 @@ int main(int argc, char** argv) {
   ml::ValidationOptions validation;
   validation.partitions =
       static_cast<std::size_t>(args.get_int("partitions", 10));
+  validation.jobs = jobs;
   const ml::ValidationResult validated = ml::repeated_subsampling_validation(
       campaign.dataset,
       core::feature_set_columns(model_id.feature_set),

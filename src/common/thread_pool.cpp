@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "common/error.hpp"
@@ -127,6 +128,11 @@ void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body,
                   std::size_t chunk) {
   if (n == 0) return;
+  if (on_worker_thread() || pool.size() <= 1) {
+    // Nested (or degenerate) fan-out: run inline. See the header contract.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
   if (chunk == 0) {
     // Aim for ~4 chunks per worker to balance load without much overhead.
     chunk = std::max<std::size_t>(1, n / (pool.size() * 4));
@@ -153,8 +159,35 @@ void parallel_for(ThreadPool& pool, std::size_t n,
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+std::atomic<std::size_t> g_configured_jobs{0};  // 0 = env / hardware
+
+std::size_t jobs_from_env() {
+  const char* raw = std::getenv("COLOC_JOBS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end == raw || *end != '\0' || value < 0)
+             ? 0
+             : static_cast<std::size_t>(value);
+}
+}  // namespace
+
+std::size_t configured_jobs() {
+  std::size_t jobs = g_configured_jobs.load(std::memory_order_relaxed);
+  if (jobs == 0) jobs = jobs_from_env();
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  return jobs;
+}
+
+void set_configured_jobs(std::size_t jobs) {
+  g_configured_jobs.store(jobs, std::memory_order_relaxed);
+}
+
 ThreadPool& global_pool() {
-  static ThreadPool pool;
+  static ThreadPool pool(configured_jobs());
   return pool;
 }
 

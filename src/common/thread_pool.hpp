@@ -153,11 +153,32 @@ class ThreadPool {
 /// iterations finish. Iterations are chunked to limit scheduling overhead.
 /// The first exception thrown by any iteration is rethrown to the caller
 /// after all chunks complete.
+///
+/// Nested-pool awareness: when the caller is itself a pool worker (any
+/// pool), the loop runs inline on the calling thread instead of being
+/// submitted. A blocking fan-out from inside a worker can deadlock (every
+/// worker waiting on chunks only the waiting workers could run) and at
+/// best oversubscribes the machine; running inline keeps nested
+/// parallelism (parallel validation partitions training MLPs whose SCG
+/// restarts would also fan out) correct and composable by construction.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& body,
                   std::size_t chunk = 0);
 
-/// Convenience: shared process-wide pool sized to hardware concurrency.
+/// The process-wide parallelism knob: how many workers global_pool() (and
+/// orchestration layers that size their own pools from it) should use.
+/// Resolution order: the value installed by set_configured_jobs(), else
+/// the COLOC_JOBS environment variable, else hardware_concurrency.
+/// Always returns at least 1.
+std::size_t configured_jobs();
+
+/// Installs the jobs knob (benches parse --jobs into this). 0 clears the
+/// override so configured_jobs() falls back to COLOC_JOBS / hardware.
+/// Must run before the first global_pool() use to affect its size; later
+/// calls still steer orchestrators that consult configured_jobs() per run.
+void set_configured_jobs(std::size_t jobs);
+
+/// Convenience: shared process-wide pool sized to configured_jobs().
 ThreadPool& global_pool();
 
 /// True when the calling thread is a worker of ANY ThreadPool. Kernels

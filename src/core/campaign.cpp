@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <future>
 #include <memory>
+#include <optional>
 #include <span>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
@@ -18,6 +22,8 @@ struct CampaignMetrics {
   obs::Counter& cells_alone;
   obs::Counter& cells_colocated;
   obs::Counter& baselines;
+  obs::Counter& tasks_queued;
+  obs::Counter& tasks_completed;
   obs::Histogram& cell_seconds;
 
   static CampaignMetrics& get() {
@@ -26,6 +32,10 @@ struct CampaignMetrics {
         registry.counter("campaign_cells_total", {{"phase", "alone"}}),
         registry.counter("campaign_cells_total", {{"phase", "colocated"}}),
         registry.counter("campaign_baselines_total"),
+        registry.counter("orchestrator_tasks_queued_total",
+                         {{"stage", "campaign"}}),
+        registry.counter("orchestrator_tasks_completed_total",
+                         {{"stage", "campaign"}}),
         registry.histogram("campaign_cell_seconds"),
     };
     return metrics;
@@ -75,54 +85,59 @@ void check_confirmation(const std::string& tag,
   }
 }
 
-/// Shared per-cell bookkeeping for the collection loops below: measure
-/// through the runner (or take the row from the checkpoint), append to the
-/// dataset, and keep the checkpoint/metrics/progress in sync. Returns
-/// false when the cell was quarantined (no row emitted).
-struct CellCollector {
-  CampaignResult& result;
-  fault::ResilientRunner& runner;
-  fault::CampaignCheckpoint* checkpoint;
-  obs::Histogram& cell_seconds;
-  obs::ProgressReporter& progress;
-  std::size_t measured_cells = 0;
+/// One cell of the Table V sweep, fully resolved at enumeration time so a
+/// worker thread can measure it without touching any shared state. The
+/// pointers reference CampaignConfig vectors, the baseline library, and
+/// the checkpoint's node-stable map — all immutable (or append-only) for
+/// the duration of the sweep.
+struct CellPlan {
+  std::string tag;
+  const sim::ApplicationSpec* target = nullptr;
+  const sim::ApplicationSpec* coapp = nullptr;  // nullptr = run-alone cell
+  std::size_t count = 0;
+  std::size_t pstate = 0;
+  std::vector<double> features;      // empty when skipped or resumed
+  double reference_time_s = 0.0;
+  bool skipped = false;              // baseline quarantined; no measurement
+  std::string skip_reason;
+  const fault::CheckpointRow* resumed = nullptr;  // replay, don't measure
 
-  bool collect(const std::string& tag, std::span<const double> features,
-               double reference_time_s, obs::Counter& cells_metric,
-               const fault::ResilientRunner::MeasureFn& measure) {
-    obs::ScopedSpan cell_span("campaign/cell", "core");
-    const auto cell_start = std::chrono::steady_clock::now();
-
-    if (checkpoint != nullptr) {
-      if (const fault::CheckpointRow* row = checkpoint->find(tag)) {
-        // Completed in a previous run: replay the stored row verbatim.
-        result.dataset.add_row(row->features, row->target, tag);
-        ++result.total_runs;
-        runner.note_resumed_cell();
-        progress.tick();
-        return true;
-      }
-    }
-
-    const auto measurement = runner.measure_cell(tag, reference_time_s,
-                                                 measure);
-    progress.tick();
-    if (!measurement) return false;  // quarantined; reported, no row
-
-    result.dataset.add_row(features, measurement->execution_time_s, tag);
-    ++result.total_runs;
-    ++measured_cells;
-    if (checkpoint != nullptr) {
-      checkpoint->record(tag, features, measurement->execution_time_s);
-    }
-    cells_metric.inc();
-    cell_seconds.observe(
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      cell_start)
-            .count());
-    return true;
-  }
+  bool needs_measure() const { return !skipped && resumed == nullptr; }
 };
+
+/// Runs one planned cell's retry loop. Pure in (plan, attempt): the
+/// repetition seeds and confirmation reads are functions of the cell
+/// identity alone, so this is safe — and bit-reproducible — from any
+/// worker thread in any order.
+fault::CellOutcome measure_plan(sim::MeasurementSource& source,
+                                fault::ResilientRunner& runner,
+                                const CellPlan& plan) {
+  if (plan.coapp == nullptr) {
+    const sim::ApplicationSpec& target = *plan.target;
+    const std::size_t p = plan.pstate;
+    return runner.measure_outcome(
+        plan.tag, plan.reference_time_s, [&](std::uint64_t attempt) {
+          sim::RunMeasurement m = source.run_alone(target, p, attempt + 1);
+          check_confirmation(
+              plan.tag, m,
+              source.run_alone(target, p, kConfirmRepOffset + attempt + 1));
+          return m;
+        });
+  }
+  const sim::ApplicationSpec& target = *plan.target;
+  const std::size_t p = plan.pstate;
+  const std::vector<sim::ApplicationSpec> copies(plan.count, *plan.coapp);
+  return runner.measure_outcome(
+      plan.tag, plan.reference_time_s, [&](std::uint64_t attempt) {
+        sim::RunMeasurement m = source.run_colocated(target, copies, p,
+                                                     attempt);
+        check_confirmation(
+            plan.tag, m,
+            source.run_colocated(target, copies, p,
+                                 kConfirmRepOffset + attempt));
+        return m;
+      });
+}
 }  // namespace
 
 CampaignResult run_campaign(sim::MeasurementSource& source,
@@ -132,6 +147,7 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
   COLOC_CHECK_MSG(!config.coapps.empty(), "campaign needs co-runner apps");
 
   obs::ScopedSpan campaign_span("campaign", "core");
+  obs::StageTimer stage_timer("campaign");
   CampaignMetrics& metrics = CampaignMetrics::get();
 
   const sim::MachineConfig& machine = source.machine();
@@ -154,7 +170,9 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
   CampaignResult result;
   result.dataset = ml::Dataset(feature_names(), "colocExTime");
 
-  fault::ResilientRunner runner(robustness.retry, robustness.bounds);
+  const std::size_t jobs = config.jobs != 0 ? config.jobs : configured_jobs();
+  fault::ResilientRunner runner(robustness.retry, robustness.bounds,
+                                std::max<std::size_t>(2, jobs));
 
   std::unique_ptr<fault::CampaignCheckpoint> checkpoint;
   if (!robustness.checkpoint_path.empty()) {
@@ -178,92 +196,184 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
     metrics.baselines.inc(result.baselines.size());
   }
 
-  // One progress unit per campaign cell (a dataset row).
+  // --- Enumerate: flatten the nested Table V loops into a task list in
+  // exact sweep order. Skip/resume decisions and feature vectors are
+  // resolved here, on the driver thread, so each remaining cell is a
+  // self-contained measurement task.
+  auto resolve = [&](CellPlan& plan) {
+    const std::string* missing = nullptr;
+    if (result.baselines.count(plan.target->name) == 0) {
+      missing = &plan.target->name;
+    } else if (plan.coapp != nullptr &&
+               result.baselines.count(plan.coapp->name) == 0) {
+      missing = &plan.coapp->name;
+    }
+    if (missing != nullptr) {
+      // An application whose baseline was quarantined has no feature
+      // vector; every cell involving it is skipped and accounted.
+      plan.skipped = true;
+      plan.skip_reason = "baseline quarantined for " + *missing;
+      return;
+    }
+    if (checkpoint != nullptr) {
+      plan.resumed = checkpoint->find(plan.tag);
+      if (plan.resumed != nullptr) return;  // replay verbatim at commit
+    }
+    const BaselineProfile& target_baseline =
+        result.baselines.at(plan.target->name);
+    std::vector<const BaselineProfile*> co_profiles;
+    if (plan.coapp != nullptr) {
+      co_profiles.assign(plan.count, &result.baselines.at(plan.coapp->name));
+    }
+    const auto features =
+        compute_features(target_baseline, co_profiles, plan.pstate);
+    plan.features.assign(features.begin(), features.end());
+    plan.reference_time_s = target_baseline.time_at(plan.pstate);
+  };
+
   const std::size_t cells_per_target =
       (config.include_alone_rows ? 1 : 0) + config.coapps.size() * counts.size();
-  obs::ProgressReporter progress(
-      "campaign " + machine.name,
-      pstates.size() * config.targets.size() * cells_per_target);
-
-  CellCollector collector{result, runner, checkpoint.get(),
-                          metrics.cell_seconds, progress};
-
-  // An application whose baseline was quarantined has no feature vector;
-  // every cell involving it is skipped and accounted as quarantined.
-  auto baseline_missing = [&](const std::string& app, const std::string& tag) {
-    if (result.baselines.count(app) != 0) return false;
-    runner.note_skipped_cell(tag, "baseline quarantined for " + app);
-    progress.tick();
-    return true;
-  };
-
-  auto maybe_abort = [&] {
-    if (robustness.abort_after_cells == 0) return;
-    if (collector.measured_cells < robustness.abort_after_cells) return;
-    if (checkpoint != nullptr) checkpoint->flush();
-    throw coloc::runtime_error(
-        "campaign aborted after " +
-        std::to_string(collector.measured_cells) +
-        " measured cells (abort_after_cells test hook)");
-  };
-
-  // The nested collection loops of Table V.
+  std::vector<CellPlan> plans;
+  plans.reserve(pstates.size() * config.targets.size() * cells_per_target);
   for (std::size_t p : pstates) {
     for (const auto& target : config.targets) {
       if (config.include_alone_rows) {
-        const std::string tag = CampaignResult::make_tag(target.name, "-",
-                                                         0, p);
-        if (!baseline_missing(target.name, tag)) {
-          const BaselineProfile& target_baseline =
-              result.baselines.at(target.name);
-          const auto features = compute_features(target_baseline, {}, p);
-          collector.collect(
-              tag, features, target_baseline.time_at(p), metrics.cells_alone,
-              [&](std::uint64_t attempt) {
-                sim::RunMeasurement m = source.run_alone(target, p,
-                                                         attempt + 1);
-                check_confirmation(
-                    tag, m,
-                    source.run_alone(target, p,
-                                     kConfirmRepOffset + attempt + 1));
-                return m;
-              });
-          maybe_abort();
-        }
+        CellPlan plan;
+        plan.tag = CampaignResult::make_tag(target.name, "-", 0, p);
+        plan.target = &target;
+        plan.pstate = p;
+        resolve(plan);
+        plans.push_back(std::move(plan));
       }
-
       for (const auto& coapp : config.coapps) {
         for (std::size_t count : counts) {
-          const std::string tag = CampaignResult::make_tag(
-              target.name, coapp.name, count, p);
-          if (baseline_missing(target.name, tag) ||
-              baseline_missing(coapp.name, tag)) {
-            continue;
-          }
-          const BaselineProfile& target_baseline =
-              result.baselines.at(target.name);
-          const BaselineProfile& co_baseline =
-              result.baselines.at(coapp.name);
-          const std::vector<sim::ApplicationSpec> copies(count, coapp);
-          const std::vector<const BaselineProfile*> co_profiles(
-              count, &co_baseline);
-          const auto features =
-              compute_features(target_baseline, co_profiles, p);
-          collector.collect(
-              tag, features, target_baseline.time_at(p),
-              metrics.cells_colocated, [&](std::uint64_t attempt) {
-                sim::RunMeasurement m =
-                    source.run_colocated(target, copies, p, attempt);
-                check_confirmation(
-                    tag, m,
-                    source.run_colocated(target, copies, p,
-                                         kConfirmRepOffset + attempt));
-                return m;
-              });
-          maybe_abort();
+          CellPlan plan;
+          plan.tag = CampaignResult::make_tag(target.name, coapp.name, count,
+                                              p);
+          plan.target = &target;
+          plan.coapp = &coapp;
+          plan.count = count;
+          plan.pstate = p;
+          resolve(plan);
+          plans.push_back(std::move(plan));
         }
       }
     }
+  }
+
+  // One progress unit per campaign cell (a dataset row).
+  obs::ProgressReporter progress("campaign " + machine.name, plans.size());
+
+  // --- Fan out + sequenced commit. Workers fill outcomes[] in whatever
+  // order the scheduler picks; the driver commits strictly in plan order,
+  // so every output (dataset, checkpoint, completeness report) is
+  // byte-identical to the serial sweep. The dispatch window bounds
+  // speculative look-ahead past the commit cursor, keeping abort paths
+  // (and quarantine storms) cheap to drain.
+  const bool parallel_run =
+      jobs > 1 && plans.size() > 1 && !on_worker_thread();
+  std::unique_ptr<ThreadPool> workers;
+  if (parallel_run) workers = std::make_unique<ThreadPool>(jobs);
+  const std::size_t window = parallel_run ? jobs * 2 : 0;
+
+  std::vector<std::optional<fault::CellOutcome>> outcomes(plans.size());
+  std::vector<double> measure_seconds(plans.size(), 0.0);
+  std::vector<std::future<void>> inflight(plans.size());
+  std::size_t dispatched = 0;
+
+  auto dispatch_up_to = [&](std::size_t bound) {
+    bound = std::min(bound, plans.size());
+    for (; dispatched < bound; ++dispatched) {
+      const std::size_t d = dispatched;
+      if (!plans[d].needs_measure()) continue;
+      metrics.tasks_queued.inc();
+      inflight[d] = workers->submit([&, d] {
+        const auto start = std::chrono::steady_clock::now();
+        outcomes[d] = measure_plan(source, runner, plans[d]);
+        measure_seconds[d] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      });
+    }
+  };
+
+  std::size_t measured_cells = 0;
+  auto maybe_abort = [&] {
+    if (robustness.abort_after_cells == 0) return;
+    if (measured_cells < robustness.abort_after_cells) return;
+    if (checkpoint != nullptr) checkpoint->flush();
+    throw coloc::runtime_error(
+        "campaign aborted after " + std::to_string(measured_cells) +
+        " measured cells (abort_after_cells test hook)");
+  };
+
+  // Spans are throttled on big sweeps: one cell span per stride keeps the
+  // trace representative without a per-cell event flood.
+  const std::size_t span_stride = std::max<std::size_t>(1, plans.size() / 512);
+
+  try {
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (parallel_run) dispatch_up_to(i + 1 + window);
+      const CellPlan& plan = plans[i];
+      std::optional<obs::ScopedSpan> cell_span;
+      if (i % span_stride == 0) cell_span.emplace("campaign/cell", "core");
+
+      if (plan.skipped) {
+        runner.note_skipped_cell(plan.tag, plan.skip_reason);
+        progress.tick();
+        continue;
+      }
+      if (plan.resumed != nullptr) {
+        // Completed in a previous run: replay the stored row verbatim.
+        result.dataset.add_row(plan.resumed->features, plan.resumed->target,
+                               plan.tag);
+        ++result.total_runs;
+        runner.note_resumed_cell();
+        progress.tick();
+        maybe_abort();
+        continue;
+      }
+
+      fault::CellOutcome outcome;
+      if (parallel_run) {
+        inflight[i].get();  // rethrows worker-side orchestration failures
+        outcome = std::move(*outcomes[i]);
+        outcomes[i].reset();
+      } else {
+        metrics.tasks_queued.inc();
+        const auto start = std::chrono::steady_clock::now();
+        outcome = measure_plan(source, runner, plan);
+        measure_seconds[i] = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      }
+      metrics.tasks_completed.inc();
+
+      const auto measurement =
+          runner.commit_outcome(plan.tag, std::move(outcome));
+      progress.tick();
+      if (measurement) {
+        result.dataset.add_row(plan.features, measurement->execution_time_s,
+                               plan.tag);
+        ++result.total_runs;
+        ++measured_cells;
+        if (checkpoint != nullptr) {
+          checkpoint->record(plan.tag, plan.features,
+                             measurement->execution_time_s);
+        }
+        (plan.coapp == nullptr ? metrics.cells_alone : metrics.cells_colocated)
+            .inc();
+        metrics.cell_seconds.observe(measure_seconds[i]);
+      }
+      maybe_abort();
+    }
+  } catch (...) {
+    // Drain in-flight workers before unwinding: their closures reference
+    // plans/outcomes on this frame.
+    for (auto& f : inflight) {
+      if (f.valid()) f.wait();
+    }
+    throw;
   }
 
   if (checkpoint != nullptr) checkpoint->flush();

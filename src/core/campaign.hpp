@@ -37,6 +37,12 @@ struct CampaignConfig {
   std::vector<std::size_t> pstate_indices;
   /// Also include the zero-co-runner baseline rows in the dataset.
   bool include_alone_rows = false;
+  /// Worker threads for cell measurement. 0 = coloc::configured_jobs()
+  /// (the --jobs / COLOC_JOBS knob); 1 = serial. Any value produces a
+  /// bit-identical dataset, checkpoint, and completeness report: cells are
+  /// measured out of order but committed through a sequenced collector in
+  /// sweep order, and every measurement is a pure function of its cell.
+  std::size_t jobs = 0;
 
   static CampaignConfig paper_defaults();
 };
@@ -83,6 +89,14 @@ struct CampaignResult {
 /// flaky cells are retried with backoff and exhausted cells are
 /// quarantined (dropped from the dataset, listed in the report) instead of
 /// aborting the sweep.
+///
+/// Orchestration: the nested Table V loops are enumerated up front into a
+/// flat task list; with config.jobs > 1 cell measurements fan out across a
+/// worker pool inside a bounded dispatch window while the driver thread
+/// commits results strictly in sweep order (dataset row, checkpoint
+/// record, runner accounting, progress). The commit sequence — and hence
+/// every output byte — is identical to the serial sweep at any thread
+/// count; only wall-clock time changes.
 CampaignResult run_campaign(sim::MeasurementSource& source,
                             const CampaignConfig& config,
                             const CampaignRobustness& robustness = {});

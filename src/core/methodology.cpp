@@ -20,26 +20,38 @@ const ModelEvaluation& EvaluationSuite::find(ModelTechnique technique,
 EvaluationSuite evaluate_model_zoo(
     const ml::Dataset& dataset, const EvaluationConfig& config,
     std::optional<ModelId> collect_predictions_for) {
-  EvaluationSuite suite;
+  // One ValidationJob per (technique, feature set), in zoo order with the
+  // same factory salts as the historical per-model loop; the batch API
+  // flattens all job×partition tasks across the worker pool and returns
+  // numbers identical to validating each model in turn.
+  std::vector<ModelId> ids;
+  std::vector<ml::ValidationJob> jobs;
   std::uint64_t salt = 1;
   for (ModelTechnique technique : kAllTechniques) {
     for (FeatureSet set : kAllFeatureSets) {
       const ModelId id{technique, set};
-      ml::ValidationOptions validation = config.validation;
-      validation.collect_test_predictions =
+      ml::ValidationJob job;
+      job.options = config.validation;
+      job.options.collect_test_predictions =
           collect_predictions_for && collect_predictions_for->technique ==
                                          technique &&
           collect_predictions_for->feature_set == set;
-
       const auto& columns = feature_set_columns(set);
-      const ml::ModelFactory factory =
-          make_model_factory(id, config.zoo, salt++);
-      ModelEvaluation evaluation;
-      evaluation.id = id;
-      evaluation.result = ml::repeated_subsampling_validation(
-          dataset, columns, factory, validation);
-      suite.evaluations.push_back(std::move(evaluation));
+      job.columns.assign(columns.begin(), columns.end());
+      job.factory = make_model_factory(id, config.zoo, salt++);
+      ids.push_back(id);
+      jobs.push_back(std::move(job));
     }
+  }
+
+  auto results = ml::repeated_subsampling_validation_batch(dataset, jobs);
+
+  EvaluationSuite suite;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ModelEvaluation evaluation;
+    evaluation.id = ids[i];
+    evaluation.result = std::move(results[i]);
+    suite.evaluations.push_back(std::move(evaluation));
   }
   return suite;
 }

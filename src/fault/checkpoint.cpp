@@ -48,6 +48,7 @@ CampaignCheckpoint::CampaignCheckpoint(std::string path,
 }
 
 const CheckpointRow* CampaignCheckpoint::find(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const auto it = rows_.find(tag);
   return it == rows_.end() ? nullptr : &it->second;
 }
@@ -56,6 +57,7 @@ std::size_t CampaignCheckpoint::load() {
   std::ifstream is(path_);
   if (!is) return 0;  // no previous state: fresh run
   const CsvTable table = CsvTable::parse(is);
+  std::lock_guard<std::mutex> lock(mutex_);
 
   std::vector<std::string> expected = {"tag", target_name_};
   expected.insert(expected.end(), feature_names_.begin(),
@@ -93,11 +95,17 @@ void CampaignCheckpoint::record(const std::string& tag,
   CheckpointRow row;
   row.target = target;
   row.features.assign(features.begin(), features.end());
+  std::lock_guard<std::mutex> lock(mutex_);
   rows_[tag] = std::move(row);
-  if (flush_every_ > 0 && ++dirty_ >= flush_every_) flush();
+  if (flush_every_ > 0 && ++dirty_ >= flush_every_) flush_locked();
 }
 
 void CampaignCheckpoint::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void CampaignCheckpoint::flush_locked() {
   const std::string tmp = path_ + ".tmp";
   {
     std::ofstream os(tmp, std::ios::trunc);

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -25,6 +26,13 @@ struct CheckpointRow {
   std::vector<double> features;
 };
 
+/// Thread-safe for the task-parallel campaign: record() may be called
+/// concurrently (each call locks the row map; a periodic flush runs under
+/// the same lock, so there is exactly one writer at a time), and find()
+/// returns pointers into a std::map whose nodes are never invalidated by
+/// later inserts. The on-disk bytes are independent of record() order —
+/// rows serialize sorted by tag — which is what lets a parallel campaign
+/// produce a checkpoint file byte-identical to the serial one.
 class CampaignCheckpoint {
  public:
   /// `flush_every` = 0 disables periodic flushing (final flush() only).
@@ -32,7 +40,10 @@ class CampaignCheckpoint {
                      std::string target_name, std::size_t flush_every = 25);
 
   const std::string& path() const { return path_; }
-  std::size_t size() const { return rows_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_.size();
+  }
 
   /// Loads a previous run's state from path(). A missing file is an empty
   /// checkpoint (returns 0); a present file with a mismatched header (wrong
@@ -40,8 +51,12 @@ class CampaignCheckpoint {
   /// resuming an incompatible sweep.
   std::size_t load();
 
-  bool has(const std::string& tag) const { return rows_.count(tag) != 0; }
-  /// nullptr when the tag is not checkpointed.
+  bool has(const std::string& tag) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_.count(tag) != 0;
+  }
+  /// nullptr when the tag is not checkpointed. The returned pointer stays
+  /// valid across concurrent record() calls (map nodes are stable).
   const CheckpointRow* find(const std::string& tag) const;
 
   /// Records one completed cell and flushes if the period elapsed.
@@ -54,11 +69,15 @@ class CampaignCheckpoint {
   void flush();
 
  private:
+  /// Serializes the current rows to disk; caller must hold mutex_.
+  void flush_locked();
+
   std::string path_;
   std::vector<std::string> feature_names_;
   std::string target_name_;
   std::size_t flush_every_;
   std::size_t dirty_ = 0;  // rows recorded since the last flush
+  mutable std::mutex mutex_;
   std::map<std::string, CheckpointRow> rows_;
 };
 

@@ -34,11 +34,13 @@ FaultInjector::FaultInjector(sim::MeasurementSource& inner,
     : inner_(inner), plan_(plan) {}
 
 std::uint64_t FaultInjector::injected(FaultKind kind) const {
-  return injected_by_kind_[static_cast<std::size_t>(kind)];
+  return injected_by_kind_[static_cast<std::size_t>(kind)].load(
+      std::memory_order_relaxed);
 }
 
 void FaultInjector::note(FaultKind kind) {
-  ++injected_by_kind_[static_cast<std::size_t>(kind)];
+  injected_by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
   injected_counter(kind).inc();
 }
 

@@ -10,6 +10,7 @@
 // the real-hardware baseline path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -53,7 +54,11 @@ class FaultInjector : public sim::MeasurementSource {
 
   sim::MeasurementSource& inner_;
   const FaultPlan& plan_;
-  std::uint64_t injected_by_kind_[5] = {};
+  // Atomic: campaign workers measure cells — and therefore fire injected
+  // faults — concurrently. The decisions themselves stay deterministic
+  // (pure functions of the plan seed and the cell key); only the tallies
+  // need synchronization.
+  std::atomic<std::uint64_t> injected_by_kind_[5] = {};
 };
 
 /// Fault-aware host profiling: wraps counters::profile_kernel with the

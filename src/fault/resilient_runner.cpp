@@ -108,8 +108,12 @@ std::string CompletenessReport::summary() const {
   return os.str();
 }
 
-ResilientRunner::ResilientRunner(RetryPolicy policy, PlausibilityBounds bounds)
-    : policy_(policy), bounds_(bounds), pool_(2) {
+ResilientRunner::ResilientRunner(RetryPolicy policy, PlausibilityBounds bounds,
+                                 std::size_t deadline_workers)
+    : policy_(policy), bounds_(bounds),
+      pool_(deadline_workers != 0
+                ? deadline_workers
+                : std::max<std::size_t>(2, configured_jobs())) {
   COLOC_CHECK_MSG(policy_.max_attempts > 0, "need at least one attempt");
   COLOC_CHECK_MSG(policy_.deadline_ms > 0.0, "deadline must be positive");
 }
@@ -129,32 +133,47 @@ double ResilientRunner::backoff_ms(const std::string& tag,
 }
 
 void ResilientRunner::note_resumed_cell() {
-  ++report_.cells_attempted;
-  ++report_.cells_resumed;
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    ++report_.cells_attempted;
+    ++report_.cells_resumed;
+  }
   RunnerMetrics::get().cells_resumed.inc();
 }
 
 void ResilientRunner::note_skipped_cell(const std::string& tag,
                                         const std::string& reason) {
-  ++report_.cells_attempted;
-  ++report_.cells_quarantined;
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    ++report_.cells_attempted;
+    ++report_.cells_quarantined;
+    report_.quarantined.push_back(QuarantinedCell{tag, reason, 0});
+  }
   RunnerMetrics::get().cells_quarantined.inc();
-  report_.quarantined.push_back(QuarantinedCell{tag, reason, 0});
 }
 
 std::optional<sim::RunMeasurement> ResilientRunner::measure_cell(
     const std::string& tag, double reference_time_s,
     const MeasureFn& measure) {
+  return commit_outcome(tag, measure_outcome(tag, reference_time_s, measure));
+}
+
+CellOutcome ResilientRunner::measure_outcome(const std::string& tag,
+                                             double reference_time_s,
+                                             const MeasureFn& measure) {
   obs::ScopedSpan cell_span("resilient/cell", "fault");
   RunnerMetrics& metrics = RunnerMetrics::get();
-  ++report_.cells_attempted;
+  CellOutcome outcome;
+  outcome.failure_reason = "unknown";
 
-  std::string last_reason = "unknown";
   std::size_t attempt = 0;
   for (; attempt < policy_.max_attempts; ++attempt) {
     if (attempt > 0) {
-      ++report_.retries;
+      ++outcome.retries;
       metrics.retries.inc();
+      // Jitter comes from an RNG constructed locally from
+      // (jitter_seed, tag, attempt): concurrent cells never share
+      // generator state, and the delay is a pure function of the cell.
       const double delay_ms = backoff_ms(tag, attempt - 1);
       metrics.backoff_seconds.observe(delay_ms / 1e3);
       std::this_thread::sleep_for(
@@ -174,10 +193,10 @@ std::optional<sim::RunMeasurement> ResilientRunner::measure_cell(
             static_cast<std::int64_t>(policy_.deadline_ms)));
 
     if (!task.wait_until_deadline()) {
-      ++report_.deadline_overruns;
+      ++outcome.deadline_overruns;
       metrics.deadline_overruns.inc();
-      last_reason = "deadline overrun (" + std::to_string(policy_.deadline_ms) +
-                    " ms)";
+      outcome.failure_reason = "deadline overrun (" +
+                               std::to_string(policy_.deadline_ms) + " ms)";
       continue;
     }
 
@@ -185,37 +204,57 @@ std::optional<sim::RunMeasurement> ResilientRunner::measure_cell(
       task.future.get();
       validate_measurement(*result, reference_time_s, bounds_);
     } catch (const classified_error& e) {
-      last_reason = e.what();
+      outcome.failure_reason = e.what();
       if (e.error_class() == ErrorClass::kPermanent) break;
       if (e.error_class() == ErrorClass::kCorruptedData) {
-        ++report_.corrupted_readings;
+        ++outcome.corrupted_readings;
       } else {
-        ++report_.transient_faults;
+        ++outcome.transient_faults;
       }
       continue;
     } catch (const std::exception& e) {
       // Unknown exceptions carry no retry semantics: fail the cell now.
-      last_reason = e.what();
+      outcome.failure_reason = e.what();
       break;
     }
 
-    ++report_.cells_ok;
+    outcome.attempts = attempt + 1;
+    outcome.measurement = std::move(*result);
     metrics.cells_ok.inc();
-    metrics.attempts_per_cell.observe(static_cast<double>(attempt + 1));
-    return *result;
+    metrics.attempts_per_cell.observe(static_cast<double>(outcome.attempts));
+    return outcome;
   }
 
-  ++report_.cells_quarantined;
+  outcome.attempts = std::min(attempt + 1, policy_.max_attempts);
   metrics.cells_quarantined.inc();
-  metrics.attempts_per_cell.observe(static_cast<double>(
-      std::min(attempt + 1, policy_.max_attempts)));
-  report_.quarantined.push_back(
-      QuarantinedCell{tag, last_reason, std::min(attempt + 1,
-                                                 policy_.max_attempts)});
-  COLOC_LOG_WARN << "quarantined cell " << tag << " after "
-                 << report_.quarantined.back().attempts
-                 << " attempts: " << last_reason;
-  return std::nullopt;
+  metrics.attempts_per_cell.observe(static_cast<double>(outcome.attempts));
+  return outcome;
+}
+
+std::optional<sim::RunMeasurement> ResilientRunner::commit_outcome(
+    const std::string& tag, CellOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(report_mutex_);
+    ++report_.cells_attempted;
+    report_.retries += outcome.retries;
+    report_.transient_faults += outcome.transient_faults;
+    report_.corrupted_readings += outcome.corrupted_readings;
+    report_.deadline_overruns += outcome.deadline_overruns;
+    if (outcome.ok()) {
+      ++report_.cells_ok;
+    } else {
+      ++report_.cells_quarantined;
+      report_.quarantined.push_back(
+          QuarantinedCell{tag, outcome.failure_reason, outcome.attempts});
+    }
+  }
+  if (!outcome.ok()) {
+    COLOC_LOG_WARN << "quarantined cell " << tag << " after "
+                   << outcome.attempts
+                   << " attempts: " << outcome.failure_reason;
+    return std::nullopt;
+  }
+  return std::move(outcome.measurement);
 }
 
 }  // namespace coloc::fault

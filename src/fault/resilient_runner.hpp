@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -88,10 +89,32 @@ struct CompletenessReport {
   std::string summary() const;
 };
 
+/// The raw result of one cell's retry loop, carrying every tally the
+/// CompletenessReport needs but touching no shared runner state. Produced
+/// on any thread by measure_outcome(); folded into the report — in
+/// whatever order the orchestrator chooses, typically deterministic cell
+/// order — by commit_outcome().
+struct CellOutcome {
+  std::optional<sim::RunMeasurement> measurement;  // nullopt = exhausted
+  std::size_t attempts = 0;  // attempts started before success/giving up
+  std::uint64_t retries = 0;
+  std::uint64_t transient_faults = 0;
+  std::uint64_t corrupted_readings = 0;
+  std::uint64_t deadline_overruns = 0;
+  std::string failure_reason;  // last failure when quarantined
+
+  bool ok() const { return measurement.has_value(); }
+};
+
 class ResilientRunner {
  public:
+  /// `deadline_workers` sizes the internal executor that runs measurement
+  /// attempts under their deadlines; it bounds how many cells can be
+  /// measured concurrently. 0 means max(2, configured_jobs()), so a
+  /// task-parallel campaign is never throttled below its worker count.
   explicit ResilientRunner(RetryPolicy policy = {},
-                           PlausibilityBounds bounds = {});
+                           PlausibilityBounds bounds = {},
+                           std::size_t deadline_workers = 0);
 
   /// The measurement closure; `attempt` doubles as the repetition seed so
   /// retries draw fresh noise instead of replaying the failed run.
@@ -100,9 +123,30 @@ class ResilientRunner {
   /// Runs one cell to completion or quarantine. `reference_time_s` <= 0
   /// disables the plausibility check (e.g. for the baseline pass, which
   /// has no earlier reference). Returns nullopt when quarantined.
+  /// Equivalent to measure_outcome() immediately followed by
+  /// commit_outcome(). Safe to call concurrently from multiple threads;
+  /// note that concurrent callers interleave the report's quarantine list
+  /// in completion order — orchestrators that need a deterministic report
+  /// use the split API below and commit in task order.
   std::optional<sim::RunMeasurement> measure_cell(
       const std::string& tag, double reference_time_s,
       const MeasureFn& measure);
+
+  /// Phase 1: the retry/backoff/deadline loop, free of report side
+  /// effects. Thread-safe and deterministic per (tag, measure): backoff
+  /// jitter derives from (jitter_seed, tag, attempt) through a local RNG —
+  /// no shared generator — and the attempt index is the repetition seed,
+  /// so the outcome is a pure function of the cell, never of scheduling.
+  CellOutcome measure_outcome(const std::string& tag,
+                              double reference_time_s,
+                              const MeasureFn& measure);
+
+  /// Phase 2: folds one outcome into the completeness report (and logs /
+  /// records the quarantine when the cell failed). Thread-safe; call in
+  /// deterministic cell order to keep the report byte-stable across
+  /// thread counts. Returns the outcome's measurement for convenience.
+  std::optional<sim::RunMeasurement> commit_outcome(const std::string& tag,
+                                                    CellOutcome outcome);
 
   /// Records a cell satisfied from a checkpoint instead of a measurement.
   void note_resumed_cell();
@@ -111,6 +155,9 @@ class ResilientRunner {
   /// application's baseline was itself quarantined).
   void note_skipped_cell(const std::string& tag, const std::string& reason);
 
+  /// Snapshot of the accounting so far. Do not call while other threads
+  /// are still committing outcomes (returns a reference for the common
+  /// post-run read).
   const CompletenessReport& report() const { return report_; }
   const RetryPolicy& policy() const { return policy_; }
 
@@ -120,6 +167,7 @@ class ResilientRunner {
   RetryPolicy policy_;
   PlausibilityBounds bounds_;
   ThreadPool pool_;
+  std::mutex report_mutex_;
   CompletenessReport report_;
 };
 

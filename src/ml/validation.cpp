@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <mutex>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -20,6 +21,8 @@ namespace coloc::ml {
 namespace {
 struct ValidationMetrics {
   obs::Counter& partitions;
+  obs::Counter& tasks_queued;
+  obs::Counter& tasks_completed;
   obs::Histogram& partition_seconds;
   obs::Gauge& last_test_mpe;
   obs::Counter& rows_skipped;
@@ -28,12 +31,53 @@ struct ValidationMetrics {
     auto& registry = obs::Registry::global();
     static ValidationMetrics metrics{
         registry.counter("validation_partitions_total"),
+        registry.counter("orchestrator_tasks_queued_total",
+                         {{"stage", "validation"}}),
+        registry.counter("orchestrator_tasks_completed_total",
+                         {{"stage", "validation"}}),
         registry.histogram("validation_partition_seconds"),
         registry.gauge("validation_last_test_mpe"),
         registry.counter("validation_rows_skipped_total"),
     };
     return metrics;
   }
+};
+
+std::size_t effective_jobs(const ValidationOptions& options) {
+  if (!options.parallel) return 1;
+  return options.jobs != 0 ? options.jobs : configured_jobs();
+}
+
+/// Copies the selected rows of `src` into a fresh matrix. A straight
+/// row-span copy of already-materialized doubles — bit-identical to
+/// rebuilding the rows from the dataset, without the per-element column
+/// indexing.
+linalg::Matrix gather_rows(const linalg::Matrix& src,
+                           std::span<const std::size_t> rows) {
+  linalg::Matrix out(rows.size(), src.cols());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::span<const double> from = src.row(rows[i]);
+    std::copy(from.begin(), from.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+std::vector<double> gather(std::span<const double> src,
+                           std::span<const std::size_t> rows) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (std::size_t r : rows) out.push_back(src[r]);
+  return out;
+}
+
+/// Per-job working set: the design matrix over the usable rows is built
+/// once, then every partition row-gathers its splits from it.
+struct JobState {
+  const ValidationJob* job = nullptr;
+  linalg::Matrix x_full;       // usable rows x job->columns
+  std::vector<double> y_full;  // usable rows
+  std::vector<double> train_mpe, test_mpe, train_nrmse, test_nrmse;
+  std::vector<std::vector<TaggedPrediction>> collected;
 };
 }  // namespace
 
@@ -53,11 +97,18 @@ SplitIndices random_split(std::size_t n, double holdout_fraction,
   return split;
 }
 
-ValidationResult repeated_subsampling_validation(
-    const Dataset& data, std::span<const std::size_t> columns,
-    const ModelFactory& factory, const ValidationOptions& options) {
-  COLOC_CHECK_MSG(options.partitions > 0, "need at least one partition");
-  COLOC_CHECK_MSG(!columns.empty(), "need at least one feature column");
+std::vector<ValidationResult> repeated_subsampling_validation_batch(
+    const Dataset& data, std::span<const ValidationJob> jobs) {
+  COLOC_CHECK_MSG(!jobs.empty(), "need at least one validation job");
+  for (const ValidationJob& job : jobs) {
+    COLOC_CHECK_MSG(job.options.partitions > 0, "need at least one partition");
+    COLOC_CHECK_MSG(!job.columns.empty(), "need at least one feature column");
+    COLOC_CHECK_MSG(job.factory != nullptr, "need a model factory");
+  }
+
+  obs::ScopedSpan validation_span("validation", "ml");
+  obs::StageTimer stage_timer("validation");
+  ValidationMetrics& metrics = ValidationMetrics::get();
 
   // Quarantined campaigns and kKeep CSV loads can leave non-finite rows in
   // a dataset; tolerate them by validating on the finite subset instead of
@@ -69,60 +120,92 @@ ValidationResult repeated_subsampling_validation(
   }
   if (usable.size() < data.num_rows()) {
     const std::size_t skipped = data.num_rows() - usable.size();
-    ValidationMetrics::get().rows_skipped.inc(skipped);
+    metrics.rows_skipped.inc(skipped);
     COLOC_LOG_WARN << "validation skipping " << skipped
                    << " non-finite rows of " << data.num_rows();
   }
   COLOC_CHECK_MSG(usable.size() >= 10, "dataset too small to validate");
 
-  const std::size_t P = options.partitions;
-  std::vector<double> train_mpe(P), test_mpe(P), train_nrmse(P),
-      test_nrmse(P);
-  std::vector<std::vector<TaggedPrediction>> collected(P);
+  std::vector<JobState> states(jobs.size());
+  std::size_t total_tasks = 0;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& state = states[j];
+    state.job = &jobs[j];
+    state.x_full = data.design_matrix(usable, state.job->columns);
+    state.y_full = data.target_subset(usable);
+    const std::size_t P = state.job->options.partitions;
+    state.train_mpe.resize(P);
+    state.test_mpe.resize(P);
+    state.train_nrmse.resize(P);
+    state.test_nrmse.resize(P);
+    state.collected.resize(P);
+    total_tasks += P;
+  }
 
-  obs::ScopedSpan validation_span("validation", "ml");
-  ValidationMetrics& metrics = ValidationMetrics::get();
-  obs::ProgressReporter progress("validation", P);
+  // Flatten every (job, partition) pair into one task list so a slow
+  // model's tail partitions overlap the next model's work instead of
+  // serializing at a per-model barrier.
+  struct TaskRef {
+    std::size_t job;
+    std::size_t partition;
+  };
+  std::vector<TaskRef> tasks;
+  tasks.reserve(total_tasks);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t p = 0; p < jobs[j].options.partitions; ++p) {
+      tasks.push_back(TaskRef{j, p});
+    }
+  }
 
-  auto run_partition = [&](std::size_t p) {
-    obs::ScopedSpan partition_span("validation/partition", "ml");
+  obs::ProgressReporter progress("validation", total_tasks);
+  // Spans are throttled on big batches: one partition span per stride
+  // keeps the trace representative without a per-partition event flood.
+  const std::size_t span_stride = std::max<std::size_t>(1, total_tasks / 512);
+
+  auto run_task = [&](std::size_t t) {
+    const TaskRef ref = tasks[t];
+    JobState& state = states[ref.job];
+    const ValidationOptions& options = state.job->options;
+    std::optional<obs::ScopedSpan> partition_span;
+    if (t % span_stride == 0) {
+      partition_span.emplace("validation/partition", "ml");
+    }
     const auto partition_start = std::chrono::steady_clock::now();
+
     // Derive a per-partition seed so results are independent of scheduling.
-    const std::uint64_t seed = options.seed * 0x9e3779b97f4a7c15ULL +
-                               static_cast<std::uint64_t>(p) * 0x61c88647ULL;
+    const std::uint64_t seed =
+        options.seed * 0x9e3779b97f4a7c15ULL +
+        static_cast<std::uint64_t>(ref.partition) * 0x61c88647ULL;
     SplitIndices split =
         random_split(usable.size(), options.holdout_fraction, seed);
-    // Map the split from "usable row" space back to dataset row indices
-    // (identity when no rows were skipped).
-    for (std::size_t& i : split.train) i = usable[i];
-    for (std::size_t& i : split.test) i = usable[i];
 
-    const linalg::Matrix x_train = data.design_matrix(split.train, columns);
-    const std::vector<double> y_train = data.target_subset(split.train);
-    const linalg::Matrix x_test = data.design_matrix(split.test, columns);
-    const std::vector<double> y_test = data.target_subset(split.test);
+    const linalg::Matrix x_train = gather_rows(state.x_full, split.train);
+    const std::vector<double> y_train = gather(state.y_full, split.train);
+    const linalg::Matrix x_test = gather_rows(state.x_full, split.test);
+    const std::vector<double> y_test = gather(state.y_full, split.test);
 
-    const RegressorPtr model = factory(x_train, y_train);
+    const RegressorPtr model = state.job->factory(x_train, y_train);
     COLOC_CHECK_MSG(model != nullptr, "model factory returned null");
 
     const std::vector<double> pred_train = model->predict_all(x_train);
     const std::vector<double> pred_test = model->predict_all(x_test);
 
-    train_mpe[p] = mean_percent_error(pred_train, y_train);
-    test_mpe[p] = mean_percent_error(pred_test, y_test);
-    train_nrmse[p] = normalized_rmse(pred_train, y_train);
-    test_nrmse[p] = normalized_rmse(pred_test, y_test);
+    state.train_mpe[ref.partition] = mean_percent_error(pred_train, y_train);
+    state.test_mpe[ref.partition] = mean_percent_error(pred_test, y_test);
+    state.train_nrmse[ref.partition] = normalized_rmse(pred_train, y_train);
+    state.test_nrmse[ref.partition] = normalized_rmse(pred_test, y_test);
 
     if (options.collect_test_predictions) {
-      auto& bucket = collected[p];
+      auto& bucket = state.collected[ref.partition];
       bucket.reserve(split.test.size());
       for (std::size_t i = 0; i < split.test.size(); ++i) {
-        bucket.push_back(TaggedPrediction{data.tag(split.test[i]), y_test[i],
-                                          pred_test[i]});
+        bucket.push_back(TaggedPrediction{data.tag(usable[split.test[i]]),
+                                          y_test[i], pred_test[i]});
       }
     }
 
     metrics.partitions.inc();
+    metrics.tasks_completed.inc();
     metrics.partition_seconds.observe(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       partition_start)
@@ -130,33 +213,57 @@ ValidationResult repeated_subsampling_validation(
     progress.tick();
   };
 
-  if (options.parallel) {
-    parallel_for(global_pool(), P, run_partition, 1);
-  } else {
-    for (std::size_t p = 0; p < P; ++p) run_partition(p);
+  std::size_t pool_jobs = 1;
+  for (const ValidationJob& job : jobs) {
+    pool_jobs = std::max(pool_jobs, effective_jobs(job.options));
   }
-
+  metrics.tasks_queued.inc(total_tasks);
+  if (pool_jobs <= 1 || total_tasks <= 1 || on_worker_thread()) {
+    for (std::size_t t = 0; t < total_tasks; ++t) run_task(t);
+  } else if (pool_jobs == global_pool().size()) {
+    parallel_for(global_pool(), total_tasks, run_task, 1);
+  } else {
+    ThreadPool local(pool_jobs);
+    parallel_for(local, total_tasks, run_task, 1);
+  }
   progress.finish();
 
-  ValidationResult result;
-  result.partitions = P;
-  result.train_mpe = mean(train_mpe);
-  result.test_mpe = mean(test_mpe);
-  result.train_nrmse = mean(train_nrmse);
-  result.test_nrmse = mean(test_nrmse);
-  result.test_mpe_stddev = stddev(test_mpe);
-  result.test_nrmse_stddev = stddev(test_nrmse);
-  metrics.last_test_mpe.set(result.test_mpe);
-  if (options.collect_test_predictions) {
-    std::size_t total = 0;
-    for (const auto& bucket : collected) total += bucket.size();
-    result.test_predictions.reserve(total);
-    for (auto& bucket : collected) {
-      result.test_predictions.insert(result.test_predictions.end(),
-                                     bucket.begin(), bucket.end());
+  // Reduce per job in partition index order: the same float-add sequence
+  // as a serial run, regardless of which worker finished which task when.
+  std::vector<ValidationResult> results(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    JobState& state = states[j];
+    ValidationResult& result = results[j];
+    result.partitions = state.job->options.partitions;
+    result.train_mpe = mean(state.train_mpe);
+    result.test_mpe = mean(state.test_mpe);
+    result.train_nrmse = mean(state.train_nrmse);
+    result.test_nrmse = mean(state.test_nrmse);
+    result.test_mpe_stddev = stddev(state.test_mpe);
+    result.test_nrmse_stddev = stddev(state.test_nrmse);
+    metrics.last_test_mpe.set(result.test_mpe);
+    if (state.job->options.collect_test_predictions) {
+      std::size_t total = 0;
+      for (const auto& bucket : state.collected) total += bucket.size();
+      result.test_predictions.reserve(total);
+      for (auto& bucket : state.collected) {
+        result.test_predictions.insert(result.test_predictions.end(),
+                                       bucket.begin(), bucket.end());
+      }
     }
   }
-  return result;
+  return results;
+}
+
+ValidationResult repeated_subsampling_validation(
+    const Dataset& data, std::span<const std::size_t> columns,
+    const ModelFactory& factory, const ValidationOptions& options) {
+  ValidationJob job;
+  job.columns.assign(columns.begin(), columns.end());
+  job.factory = factory;
+  job.options = options;
+  auto results = repeated_subsampling_validation_batch(data, {&job, 1});
+  return std::move(results.front());
 }
 
 }  // namespace coloc::ml

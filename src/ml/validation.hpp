@@ -28,6 +28,11 @@ struct ValidationOptions {
   double holdout_fraction = 0.3;  // paper: thirty percent withheld
   std::uint64_t seed = 7;
   bool parallel = true;
+  /// Worker threads when parallel. 0 = coloc::configured_jobs() (the
+  /// --jobs / COLOC_JOBS knob); any value yields identical numbers: each
+  /// partition draws from its own counter-based RNG stream and the
+  /// reduction folds per-partition errors in partition order.
+  std::size_t jobs = 0;
   /// Collect per-sample held-out predictions (needed for Figure 5b).
   bool collect_test_predictions = false;
 };
@@ -59,6 +64,25 @@ struct ValidationResult {
 ValidationResult repeated_subsampling_validation(
     const Dataset& data, std::span<const std::size_t> columns,
     const ModelFactory& factory, const ValidationOptions& options = {});
+
+/// One model's validation request for the batch API below.
+struct ValidationJob {
+  std::vector<std::size_t> columns;
+  ModelFactory factory;
+  ValidationOptions options;
+};
+
+/// Validates many models against the same dataset by flattening every
+/// (job, partition) pair into one task list and running it across the
+/// worker pool. Compared with validating each model in turn, the tail of
+/// one model's slow partitions overlaps the next model's work, and the
+/// per-job design matrix over the usable rows is materialized once — each
+/// partition then row-gathers its train/test splits from it (bit-identical
+/// values, no per-partition feature re-indexing). Results are returned in
+/// job order; every number matches repeated_subsampling_validation run
+/// per job, at any thread count.
+std::vector<ValidationResult> repeated_subsampling_validation_batch(
+    const Dataset& data, std::span<const ValidationJob> jobs);
 
 /// Deterministic train/test index split helper (exposed for tests).
 struct SplitIndices {

@@ -268,6 +268,23 @@ std::string to_json(const MetricsSnapshot& snapshot) {
   return os.str();
 }
 
+StageTimer::StageTimer(const char* stage)
+    : stage_(stage), start_(std::chrono::steady_clock::now()) {}
+
+StageTimer::~StageTimer() { stop(); }
+
+double StageTimer::stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  auto& registry = Registry::global();
+  registry.gauge("stage_wall_seconds", {{"stage", stage_}}).set(elapsed);
+  registry.counter("stage_runs_total", {{"stage", stage_}}).inc();
+  return elapsed;
+}
+
 bool write_metrics_file(const MetricsSnapshot& snapshot,
                         const std::string& path) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);

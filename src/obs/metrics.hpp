@@ -20,6 +20,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -168,6 +169,29 @@ class Registry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   // Parallel bookkeeping: map key -> (name, labels) for snapshots.
   std::map<std::string, std::pair<std::string, Labels>> names_;
+};
+
+/// RAII wall-clock timer for one named pipeline stage. On destruction
+/// (or stop()) sets stage_wall_seconds{stage=<name>} in the global
+/// registry and bumps stage_runs_total{stage=<name>}, giving dashboards a
+/// per-stage latency series without threading timing through every
+/// signature. `stage` must outlive the timer (string literals in
+/// practice).
+class StageTimer {
+ public:
+  explicit StageTimer(const char* stage);
+  ~StageTimer();
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  /// Records now; further stop() calls (and the destructor) are no-ops.
+  /// Returns the elapsed seconds that were recorded.
+  double stop();
+
+ private:
+  const char* stage_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
 };
 
 /// Renders a snapshot in Prometheus-style text exposition format.

@@ -6,9 +6,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <future>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -216,6 +219,69 @@ TEST(ResilientRunner, AccountsResumedAndSkippedCells) {
   ASSERT_EQ(report.quarantined.size(), 1u);
   EXPECT_EQ(report.quarantined[0].attempts, 0u);
   EXPECT_NEAR(report.completeness(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ResilientRunner, MeasureOutcomeIsPureAndCommitFoldsExplicitly) {
+  ResilientRunner runner(fast_policy(), PlausibilityBounds{},
+                         /*deadline_workers=*/2);
+  auto flaky_once = [](std::uint64_t attempt) -> sim::RunMeasurement {
+    if (attempt == 0) {
+      throw MeasurementError(ErrorClass::kTransient, "flaky first read");
+    }
+    return good_measurement();
+  };
+  const CellOutcome first = runner.measure_outcome("a|b|x1|p0", 0.0,
+                                                   flaky_once);
+  const CellOutcome second = runner.measure_outcome("a|b|x1|p0", 0.0,
+                                                    flaky_once);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.measurement->execution_time_s,
+            second.measurement->execution_time_s);
+  EXPECT_EQ(first.attempts, second.attempts);
+  EXPECT_EQ(first.retries, 1u);
+  EXPECT_EQ(first.transient_faults, 1u);
+  EXPECT_EQ(runner.report().cells_attempted, 0u)
+      << "measure_outcome must not touch the shared report";
+
+  const auto committed = runner.commit_outcome("a|b|x1|p0", first);
+  ASSERT_TRUE(committed.has_value());
+  EXPECT_EQ(runner.report().cells_attempted, 1u);
+  EXPECT_EQ(runner.report().cells_ok, 1u);
+  EXPECT_EQ(runner.report().retries, 1u);
+}
+
+TEST(ResilientRunner, ConcurrentCellsAccountExactly) {
+  // Many cells measured at once from a worker pool (the parallel
+  // campaign's usage); tallies must come out exact, not approximately —
+  // this test doubles as the TSan coverage for the concurrent runner.
+  constexpr int kCells = 24;
+  ResilientRunner runner(fast_policy(), PlausibilityBounds{},
+                         /*deadline_workers=*/4);
+  ThreadPool pool(4);
+  std::vector<std::future<void>> inflight;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < kCells; ++i) {
+    inflight.push_back(pool.submit([&runner, &ok, i] {
+      const std::string tag = "cell" + std::to_string(i) + "|co|x1|p0";
+      const auto result = runner.measure_cell(
+          tag, 0.0, [i](std::uint64_t attempt) {
+            if (i % 3 == 0 && attempt == 0) {
+              throw MeasurementError(ErrorClass::kTransient, "flaky");
+            }
+            return good_measurement();
+          });
+      if (result.has_value()) ok.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : inflight) f.get();
+  EXPECT_EQ(ok.load(), kCells);
+  const CompletenessReport& report = runner.report();
+  EXPECT_EQ(report.cells_attempted, static_cast<std::size_t>(kCells));
+  EXPECT_EQ(report.cells_ok, static_cast<std::size_t>(kCells));
+  EXPECT_EQ(report.cells_quarantined, 0u);
+  EXPECT_EQ(report.retries, 8u);           // cells 0,3,...,21
+  EXPECT_EQ(report.transient_faults, 8u);
 }
 
 TEST(ResilientRunner, CompletenessReportSummarizes) {

@@ -152,5 +152,97 @@ TEST(Validation, EmptyColumnsThrows) {
                coloc::runtime_error);
 }
 
+TEST(Validation, BatchMatchesPerModelRuns) {
+  const Dataset ds = linear_dataset(90, 0.4, 10);
+  std::vector<ValidationJob> jobs(2);
+  jobs[0].columns = {0, 1};
+  jobs[0].factory = linear_factory();
+  jobs[0].options = {.partitions = 8, .seed = 21};
+  jobs[1].columns = {0};
+  jobs[1].factory = linear_factory();
+  jobs[1].options = {.partitions = 5, .seed = 33};
+
+  const auto batch = repeated_subsampling_validation_batch(ds, jobs);
+  ASSERT_EQ(batch.size(), 2u);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const ValidationResult solo = repeated_subsampling_validation(
+        ds, jobs[j].columns, jobs[j].factory, jobs[j].options);
+    SCOPED_TRACE("job " + std::to_string(j));
+    EXPECT_EQ(batch[j].partitions, solo.partitions);
+    EXPECT_EQ(batch[j].train_mpe, solo.train_mpe);
+    EXPECT_EQ(batch[j].test_mpe, solo.test_mpe);
+    EXPECT_EQ(batch[j].train_nrmse, solo.train_nrmse);
+    EXPECT_EQ(batch[j].test_nrmse, solo.test_nrmse);
+    EXPECT_EQ(batch[j].test_mpe_stddev, solo.test_mpe_stddev);
+    EXPECT_EQ(batch[j].test_nrmse_stddev, solo.test_nrmse_stddev);
+  }
+}
+
+TEST(Validation, JobsKnobLeavesEveryNumberBitIdentical) {
+  const Dataset ds = linear_dataset(70, 0.2, 11);
+  const std::vector<std::size_t> cols = {0, 1};
+  ValidationOptions serial;
+  serial.partitions = 9;
+  serial.seed = 5;
+  serial.parallel = false;
+  serial.collect_test_predictions = true;
+  ValidationOptions parallel = serial;
+  parallel.parallel = true;
+  parallel.jobs = 4;
+
+  const ValidationResult a =
+      repeated_subsampling_validation(ds, cols, linear_factory(), serial);
+  const ValidationResult b =
+      repeated_subsampling_validation(ds, cols, linear_factory(), parallel);
+  // Exact equality, not tolerance: partitions own their RNG streams and
+  // the reduction runs in partition index order regardless of scheduling.
+  EXPECT_EQ(a.train_mpe, b.train_mpe);
+  EXPECT_EQ(a.test_mpe, b.test_mpe);
+  EXPECT_EQ(a.train_nrmse, b.train_nrmse);
+  EXPECT_EQ(a.test_nrmse, b.test_nrmse);
+  EXPECT_EQ(a.test_mpe_stddev, b.test_mpe_stddev);
+  EXPECT_EQ(a.test_nrmse_stddev, b.test_nrmse_stddev);
+  ASSERT_EQ(a.test_predictions.size(), b.test_predictions.size());
+  for (std::size_t i = 0; i < a.test_predictions.size(); ++i) {
+    EXPECT_EQ(a.test_predictions[i].tag, b.test_predictions[i].tag) << i;
+    EXPECT_EQ(a.test_predictions[i].actual, b.test_predictions[i].actual)
+        << i;
+    EXPECT_EQ(a.test_predictions[i].predicted,
+              b.test_predictions[i].predicted)
+        << i;
+  }
+}
+
+TEST(Validation, GatheredDesignMatrixMatchesDirectMaterialization) {
+  // The batch runner builds one design matrix over the usable rows and
+  // row-gathers each partition's splits from it. Pin that this yields the
+  // exact predictions of the historical path, which materialized each
+  // partition's matrix directly from the dataset.
+  const Dataset ds = linear_dataset(64, 0.3, 12);
+  const std::vector<std::size_t> cols = {0, 1};
+  ValidationOptions opts;
+  opts.partitions = 1;
+  opts.seed = 17;
+  opts.parallel = false;
+  opts.collect_test_predictions = true;
+  const ValidationResult r =
+      repeated_subsampling_validation(ds, cols, linear_factory(), opts);
+
+  // Partition 0 the old way: per-partition Dataset::design_matrix calls.
+  const std::uint64_t seed = opts.seed * 0x9e3779b97f4a7c15ULL;
+  const SplitIndices split =
+      random_split(ds.num_rows(), opts.holdout_fraction, seed);
+  const linalg::Matrix x_train = ds.design_matrix(split.train, cols);
+  const std::vector<double> y_train = ds.target_subset(split.train);
+  const linalg::Matrix x_test = ds.design_matrix(split.test, cols);
+  const RegressorPtr model = linear_factory()(x_train, y_train);
+  const std::vector<double> pred = model->predict_all(x_test);
+
+  ASSERT_EQ(r.test_predictions.size(), pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    EXPECT_EQ(r.test_predictions[i].predicted, pred[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace coloc::ml
