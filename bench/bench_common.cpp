@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
@@ -21,6 +23,7 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   if (config.jobs != 0) set_configured_jobs(config.jobs);
   config.metrics_out = args.get("metrics-out", "");
   config.trace_out = args.get("trace-out", "");
+  config.bundle_out = args.get("bundle-out", "");
   config.fault_rate = args.get_double("fault-rate", config.fault_rate);
   config.checkpoint = args.get("checkpoint", "");
   config.checkpoint_every = static_cast<std::size_t>(args.get_int(
@@ -43,8 +46,33 @@ obs::ObsOptions HarnessConfig::run_session() const {
   obs::ObsOptions options;
   options.metrics_out = metrics_out;
   options.trace_out = trace_out;
+  if (!bundle_out.empty()) {
+    // A bundle is the self-describing trio obs_report consumes; it takes
+    // precedence over the individual output flags.
+    std::error_code ec;
+    std::filesystem::create_directories(bundle_out, ec);
+    if (ec) {
+      std::fprintf(stderr, "[bench] cannot create bundle dir %s: %s\n",
+                   bundle_out.c_str(), ec.message().c_str());
+    }
+    options.metrics_out = bundle_out + "/metrics.json";
+    options.trace_out = bundle_out + "/trace.json";
+    options.manifest_out = bundle_out + "/manifest.json";
+  }
   options.report_resources = true;
   options.label = program;
+  options.manifest.program = program;
+  options.manifest.seed = seed;
+  options.manifest.jobs = jobs != 0 ? jobs : configured_jobs();
+  options.manifest.fault_rate = fault_rate >= 0.0 ? fault_rate : 0.0;
+  options.manifest.extra.emplace_back("partitions",
+                                      std::to_string(partitions));
+  options.manifest.extra.emplace_back("nn_iters",
+                                      std::to_string(nn_iterations));
+  options.manifest.extra.emplace_back("quick", quick ? "1" : "0");
+  // Let workers retire their open spans before the session writes the
+  // trace; see ObsOptions::flush_hook.
+  options.flush_hook = [] { global_pool().quiesce(); };
   return options;
 }
 

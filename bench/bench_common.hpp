@@ -9,6 +9,9 @@
 //                       bit-identical at any value)
 //   --metrics-out=FILE  write a metrics snapshot at exit (.json or text)
 //   --trace-out=FILE    write a chrome://tracing span file (+ CSV twin)
+//   --bundle-out=DIR    write a full run bundle: DIR/manifest.json +
+//                       DIR/metrics.json + DIR/trace.json (consumed by
+//                       tools/obs_report; overrides the two flags above)
 //
 // Robustness flags (see the Robustness section in README.md):
 //   --fault-rate=P      inject faults at rate P (overrides COLOC_FAULT_RATE)
@@ -46,6 +49,7 @@ struct HarnessConfig {
   std::size_t jobs = 0;
   std::string metrics_out;  // --metrics-out
   std::string trace_out;    // --trace-out
+  std::string bundle_out;   // --bundle-out (bundle dir; wins over both)
   std::string program = "bench";
   double fault_rate = -1.0;  // --fault-rate; < 0 defers to COLOC_FAULT_RATE
   std::string checkpoint;    // --checkpoint; "" disables checkpointing

@@ -12,6 +12,8 @@
 // Observability flags (see the Observability section in README.md):
 //   --metrics-out m.json   dump the metrics registry at exit
 //   --trace-out t.json     dump spans for chrome://tracing (+ t.csv)
+//   --bundle-out DIR       write DIR/{manifest,metrics,trace}.json for
+//                          tools/obs_report (overrides the two above)
 //
 // Performance flags (see the Performance section in README.md):
 //   --jobs=N               worker threads for the campaign + validation
@@ -25,6 +27,8 @@
 //   --checkpoint-every=N   cells between periodic checkpoint flushes
 //   --resume               load FILE first and skip measured cells
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
@@ -44,7 +48,22 @@ int main(int argc, char** argv) {
   obs::ObsOptions obs_options;
   obs_options.metrics_out = args.get("metrics-out", "");
   obs_options.trace_out = args.get("trace-out", "");
+  if (const std::string bundle = args.get("bundle-out", ""); !bundle.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(bundle, ec);
+    obs_options.metrics_out = bundle + "/metrics.json";
+    obs_options.trace_out = bundle + "/trace.json";
+    obs_options.manifest_out = bundle + "/manifest.json";
+  }
   obs_options.label = "quickstart";
+  obs_options.manifest.program = "quickstart";
+  obs_options.manifest.machine_preset = "xeon_e5649";
+  obs_options.manifest.jobs = jobs != 0 ? jobs : configured_jobs();
+  obs_options.manifest.fault_rate =
+      args.get_double("fault-rate", fault::FaultPlanConfig::from_env().rate);
+  // Let workers retire their open spans before the session writes the
+  // trace; see ObsOptions::flush_hook.
+  obs_options.flush_hook = [] { global_pool().quiesce(); };
   const obs::ObsSession session(obs_options);
 
   // 1. The machine: the paper's 6-core Xeon E5649 preset.

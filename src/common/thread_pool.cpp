@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace coloc {
 
@@ -20,10 +21,10 @@ struct PoolMetrics {
 
   static PoolMetrics& get() {
     static PoolMetrics metrics{
-        obs::Registry::global().gauge("threadpool_queue_depth"),
-        obs::Registry::global().histogram("threadpool_task_wait_seconds"),
-        obs::Registry::global().histogram("threadpool_task_run_seconds"),
-        obs::Registry::global().counter("threadpool_tasks_total"),
+        obs::Registry::global().gauge("pool_queue_depth"),
+        obs::Registry::global().histogram("pool_queue_wait_seconds"),
+        obs::Registry::global().histogram("pool_exec_seconds"),
+        obs::Registry::global().counter("pool_tasks_total"),
     };
     return metrics;
   }
@@ -69,9 +70,16 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  // Build the process-wide metrics (and the registry behind them) from the
+  // constructing thread, before any worker exists. Workers touch both
+  // lazily, and a first touch from a worker would construct the registry
+  // *after* this pool — which at exit destroys it *before* the pool joins
+  // its workers, leaving them racing a freed registry.
+  PoolMetrics::get();
+  worker_stats_ = std::vector<WorkerStats>(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -88,6 +96,28 @@ void ThreadPool::shutdown() {
   workers_.clear();
 }
 
+PoolStats ThreadPool::stats() const {
+  PoolStats s;
+  s.workers = worker_stats_.size();
+  const std::uint64_t now_ns = obs::trace_now_ns();
+  for (const WorkerStats& w : worker_stats_) {
+    s.busy_seconds += static_cast<double>(
+                          w.busy_ns.load(std::memory_order_relaxed)) *
+                      1e-9;
+    std::uint64_t idle = w.idle_ns.load(std::memory_order_relaxed);
+    if (w.waiting.load(std::memory_order_acquire)) {
+      // A wait is booked when it ends; count the open one up to "now" so
+      // an idle (but alive) pool reads as idle rather than unaccounted.
+      const std::uint64_t start =
+          w.wait_start_ns.load(std::memory_order_relaxed);
+      if (now_ns > start) idle += now_ns - start;
+    }
+    s.idle_seconds += static_cast<double>(idle) * 1e-9;
+    s.tasks += w.tasks.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
 void ThreadPool::enqueue(std::function<void()> fn) {
   std::size_t depth = 0;
   {
@@ -95,33 +125,97 @@ void ThreadPool::enqueue(std::function<void()> fn) {
     COLOC_CHECK_MSG(!stopping_,
                     "ThreadPool::submit called after shutdown; the task "
                     "would never run");
-    queue_.push(Task{std::move(fn), std::chrono::steady_clock::now()});
+    queue_.push(Task{std::move(fn), std::chrono::steady_clock::now(),
+                     obs::current_span_id()});
     depth = queue_.size();
   }
   PoolMetrics::get().queue_depth.set(static_cast<double>(depth));
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
   t_on_worker_thread = true;
   PoolMetrics& metrics = PoolMetrics::get();
+  WorkerStats& mine = worker_stats_[worker_index];
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Publish the wait start before raising the flag so stats() (which
+      // reads flag-then-start with acquire) never sees a stale start.
+      mine.wait_start_ns.store(obs::trace_now_ns(),
+                               std::memory_order_relaxed);
+      mine.waiting.store(true, std::memory_order_release);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      const std::uint64_t wait_end = obs::trace_now_ns();
+      const std::uint64_t wait_start =
+          mine.wait_start_ns.load(std::memory_order_relaxed);
+      mine.waiting.store(false, std::memory_order_relaxed);
+      if (wait_end > wait_start) {
+        mine.idle_ns.fetch_add(wait_end - wait_start,
+                               std::memory_order_relaxed);
+      }
+      // The final wait (stopping_ with a drained queue) falls out of the
+      // booking above as idle, never busy: workers parked at shutdown did
+      // no work while parked.
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      // Claimed under the lock so quiesce() never observes an empty queue
+      // while a popped-but-uncounted task is in flight.
+      busy_workers_.fetch_add(1, std::memory_order_relaxed);
       metrics.queue_depth.set(static_cast<double>(queue_.size()));
     }
     const auto started = std::chrono::steady_clock::now();
     metrics.wait_seconds.observe(seconds_between(task.enqueued, started));
-    task.fn();
-    metrics.run_seconds.observe(
-        seconds_between(started, std::chrono::steady_clock::now()));
+    obs::trace_counter(
+        "pool/busy_workers",
+        static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
+    {
+      // The task span is parented on the span open at submit time — the
+      // cross-thread dependency edge obs::attribution's critical-path
+      // pass walks.
+      obs::ScopedSpan span("pool/task", "pool", task.submit_span_id);
+      task.fn();
+    }
+    const auto finished = std::chrono::steady_clock::now();
+    mine.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(finished -
+                                                                 started)
+                .count()),
+        std::memory_order_relaxed);
+    mine.tasks.fetch_add(1, std::memory_order_relaxed);
+    metrics.run_seconds.observe(seconds_between(started, finished));
     metrics.tasks.inc();
+    {
+      // Retired last, under the lock: once quiesce() sees the count hit
+      // zero, the task's span and every metric above are already booked.
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    idle_cv_.notify_all();
+    obs::trace_counter(
+        "pool/busy_workers",
+        static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
   }
+}
+
+void ThreadPool::quiesce() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] {
+    return queue_.empty() && busy_workers_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+void export_stage_pool_gauges(const std::string& stage, const PoolStats& s) {
+  auto& registry = obs::Registry::global();
+  const obs::Labels labels = {{"stage", stage}};
+  registry.gauge("stage_pool_busy_seconds", labels).set(s.busy_seconds);
+  registry.gauge("stage_pool_idle_seconds", labels).set(s.idle_seconds);
+  registry.gauge("stage_pool_workers", labels)
+      .set(static_cast<double>(s.workers));
+  registry.gauge("stage_pool_utilization", labels).set(s.utilization());
 }
 
 void parallel_for(ThreadPool& pool, std::size_t n,

@@ -4,13 +4,20 @@
 // set; these are embarrassingly parallel and scheduled through this pool.
 //
 // Instrumentation (see src/obs/): the pool maintains a queue-depth gauge
-// and task wait/run-time histograms in the global metrics registry.
+// (`pool_queue_depth`), queue-wait and execution histograms
+// (`pool_queue_wait_seconds`, `pool_exec_seconds`) and a task counter
+// (`pool_tasks_total`) in the global metrics registry; per-worker
+// busy/idle accounting is exposed via stats(). When a TraceSink is
+// installed each task additionally emits a "pool/task" span parented on
+// the span that submitted it (the cross-thread dependency edge walked by
+// obs::attribution) and a "pool/busy_workers" counter timeline.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -72,6 +79,24 @@ struct DeadlineTask {
   bool wait_until_deadline();
 };
 
+/// Aggregated per-pool worker accounting, read via ThreadPool::stats().
+/// busy covers task execution; idle covers condition-variable waits,
+/// including waits still open at the time of the stats() call and the
+/// final wait a worker sits in until shutdown() wakes it (so a pool that
+/// ran nothing reports utilization ~0, not ~1).
+struct PoolStats {
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  std::uint64_t tasks = 0;
+  std::size_t workers = 0;
+
+  /// busy / (busy + idle); 0 when the pool never started a wait or task.
+  double utilization() const {
+    const double total = busy_seconds + idle_seconds;
+    return total > 0.0 ? busy_seconds / total : 0.0;
+  }
+};
+
 /// A minimal task-queue thread pool. Tasks are std::function<void()>;
 /// submit() returns a future for completion/exception propagation.
 ///
@@ -95,6 +120,19 @@ class ThreadPool {
   /// Stops accepting work, drains the queue, and joins the workers.
   /// Idempotent; also invoked by the destructor.
   void shutdown();
+
+  /// Blocks until the queue is empty and every in-flight task has fully
+  /// retired — including its trace span and metric bookkeeping, which run
+  /// after the task's future is fulfilled. Call before tearing down a
+  /// TraceSink so no worker is still mid-span when the trace is written
+  /// (a span recorded after the sink swap is silently dropped, orphaning
+  /// its already-recorded children). The pool stays usable afterwards.
+  void quiesce();
+
+  /// Snapshot of per-worker busy/idle accounting (valid during the pool's
+  /// life and after shutdown). Condition-variable waits still open at the
+  /// time of the call are counted as idle up to "now".
+  PoolStats stats() const;
 
   /// Enqueues a task; the returned future rethrows any task exception.
   /// Throws coloc::runtime_error if the pool has been shut down — a task
@@ -133,6 +171,21 @@ class ThreadPool {
   struct Task {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    // Trace span open on the submitting thread at enqueue time (0 = none);
+    // the worker parents its "pool/task" span on it so exported traces
+    // carry the submit -> execute dependency edge.
+    std::uint64_t submit_span_id = 0;
+  };
+
+  /// Per-worker accounting. Intervals are booked when they end; an open
+  /// condition-variable wait is published via waiting/wait_start_ns so
+  /// stats() can include it without touching the pool mutex.
+  struct WorkerStats {
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::atomic<std::uint64_t> idle_ns{0};
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> wait_start_ns{0};
+    std::atomic<bool> waiting{false};
   };
 
   /// Throws coloc::runtime_error if the token was cancelled before the
@@ -140,14 +193,28 @@ class ThreadPool {
   static void throw_if_abandoned(const CancellationToken& token);
 
   void enqueue(std::function<void()> fn);
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
+  // Sized once in the constructor, before any worker starts; never resized
+  // (the atomics make WorkerStats immovable).
+  std::vector<WorkerStats> worker_stats_;
+  std::atomic<int> busy_workers_{0};
   std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
   bool stopping_ = false;
 };
+
+/// Publishes one stage's pool accounting to the global metrics registry
+/// as gauges labeled {stage=...}: stage_pool_busy_seconds,
+/// stage_pool_idle_seconds, stage_pool_workers, stage_pool_utilization.
+/// Orchestrators call this with their own pool's (or a before/after delta
+/// of the global pool's) stats so per-stage numbers are not polluted by
+/// idle time the shared pool accrues during other stages; obs::attribution
+/// reads these gauges to attribute the serial-vs-parallel wall gap.
+void export_stage_pool_gauges(const std::string& stage, const PoolStats& s);
 
 /// Runs body(i) for i in [0, n) across the pool, blocking until all
 /// iterations finish. Iterations are chunked to limit scheduling overhead.

@@ -377,6 +377,19 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
   }
 
   if (checkpoint != nullptr) checkpoint->flush();
+
+  // Publish this stage's worker accounting while the pool is still ours:
+  // per-stage gauges (rather than cumulative global ones) keep idle time
+  // from other stages out of the campaign's attribution.
+  PoolStats pool_stats;
+  if (workers != nullptr) {
+    workers->shutdown();
+    pool_stats = workers->stats();
+  } else {
+    pool_stats.workers = 1;  // the driver thread measured inline
+  }
+  export_stage_pool_gauges("campaign", pool_stats);
+
   result.completeness = runner.report();
   return result;
 }

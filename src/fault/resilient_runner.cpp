@@ -25,6 +25,7 @@ struct RunnerMetrics {
   obs::Counter& deadline_overruns;
   obs::Histogram& attempts_per_cell;
   obs::Histogram& backoff_seconds;
+  obs::Histogram& commit_hold_seconds;
 
   static RunnerMetrics& get() {
     auto& registry = obs::Registry::global();
@@ -36,6 +37,7 @@ struct RunnerMetrics {
         registry.counter("resilient_deadline_overruns_total"),
         registry.histogram("resilient_attempts_per_cell"),
         registry.histogram("resilient_backoff_seconds"),
+        registry.histogram("pool_commit_hold_seconds"),
     };
     return metrics;
   }
@@ -222,17 +224,29 @@ CellOutcome ResilientRunner::measure_outcome(const std::string& tag,
     outcome.measurement = std::move(*result);
     metrics.cells_ok.inc();
     metrics.attempts_per_cell.observe(static_cast<double>(outcome.attempts));
+    outcome.completed_ns = obs::trace_now_ns();
     return outcome;
   }
 
   outcome.attempts = std::min(attempt + 1, policy_.max_attempts);
   metrics.cells_quarantined.inc();
   metrics.attempts_per_cell.observe(static_cast<double>(outcome.attempts));
+  outcome.completed_ns = obs::trace_now_ns();
   return outcome;
 }
 
 std::optional<sim::RunMeasurement> ResilientRunner::commit_outcome(
     const std::string& tag, CellOutcome outcome) {
+  if (outcome.completed_ns != 0) {
+    // Time a finished outcome spent parked before the orchestrator's
+    // ordered-commit window reached it (~0 on the serial path, where
+    // commit follows measurement immediately).
+    const std::uint64_t now_ns = obs::trace_now_ns();
+    const std::uint64_t held_ns =
+        now_ns > outcome.completed_ns ? now_ns - outcome.completed_ns : 0;
+    RunnerMetrics::get().commit_hold_seconds.observe(
+        static_cast<double>(held_ns) * 1e-9);
+  }
   {
     std::lock_guard<std::mutex> lock(report_mutex_);
     ++report_.cells_attempted;

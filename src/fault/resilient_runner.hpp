@@ -102,6 +102,12 @@ struct CellOutcome {
   std::uint64_t corrupted_readings = 0;
   std::uint64_t deadline_overruns = 0;
   std::string failure_reason;  // last failure when quarantined
+  /// Trace-clock stamp (obs::trace_now_ns) of when the retry loop
+  /// finished. commit_outcome() observes now - completed_ns as
+  /// `pool_commit_hold_seconds`: how long a finished cell waited for the
+  /// ordered-commit window — the commit-order stall component of the
+  /// parallel orchestration overhead.
+  std::uint64_t completed_ns = 0;
 
   bool ok() const { return measurement.has_value(); }
 };

@@ -1,0 +1,553 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "obs/json.hpp"
+
+namespace coloc::obs {
+
+namespace {
+
+void sort_and_count_orphans(SpanGraph& graph) {
+  std::sort(graph.spans.begin(), graph.spans.end(),
+            [](const Span& a, const Span& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.duration_ns > b.duration_ns;
+            });
+  std::unordered_set<std::uint64_t> ids;
+  ids.reserve(graph.spans.size());
+  for (const Span& s : graph.spans) ids.insert(s.id);
+  graph.orphaned_edges = 0;
+  for (const Span& s : graph.spans) {
+    if (s.parent_id != 0 && ids.count(s.parent_id) == 0) {
+      ++graph.orphaned_edges;
+    }
+  }
+}
+
+std::string format_seconds(double s) {
+  char buf[64];
+  if (std::abs(s) >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (std::abs(s) >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+std::string format_pct(double pct) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", pct);
+  return buf;
+}
+
+}  // namespace
+
+SpanGraph SpanGraph::build(const std::vector<TraceEvent>& events) {
+  SpanGraph graph;
+  graph.spans.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
+    Span s;
+    s.name = e.name;
+    s.category = e.category;
+    s.tid = e.tid;
+    s.id = e.id;
+    s.parent_id = e.parent_id;
+    s.start_ns = e.start_ns;
+    s.duration_ns = e.duration_ns;
+    graph.spans.push_back(std::move(s));
+  }
+  sort_and_count_orphans(graph);
+  return graph;
+}
+
+SpanGraph SpanGraph::from_chrome_json(const std::string& path) {
+  const JsonValue doc = json_parse_file(path);
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error(path + ": not a chrome trace (no traceEvents)");
+  }
+  SpanGraph graph;
+  graph.spans.reserve(events->size());
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string != "X") continue;
+    Span s;
+    if (const JsonValue* v = e.find("name"); v != nullptr) s.name = v->string;
+    if (const JsonValue* v = e.find("cat"); v != nullptr) {
+      s.category = v->string;
+    }
+    if (const JsonValue* v = e.find("tid"); v != nullptr && v->is_number()) {
+      s.tid = static_cast<std::uint32_t>(v->number);
+    }
+    // Timestamps were exported as microseconds with 3 decimals; rounding
+    // back to integer nanoseconds is exact.
+    if (const JsonValue* v = e.find("ts"); v != nullptr && v->is_number()) {
+      s.start_ns = static_cast<std::uint64_t>(std::llround(v->number * 1e3));
+    }
+    if (const JsonValue* v = e.find("dur"); v != nullptr && v->is_number()) {
+      s.duration_ns =
+          static_cast<std::uint64_t>(std::llround(v->number * 1e3));
+    }
+    if (const JsonValue* args = e.find("args");
+        args != nullptr && args->is_object()) {
+      if (const JsonValue* v = args->find("id");
+          v != nullptr && v->is_number()) {
+        s.id = static_cast<std::uint64_t>(v->number);
+      }
+      if (const JsonValue* v = args->find("parent");
+          v != nullptr && v->is_number()) {
+        s.parent_id = static_cast<std::uint64_t>(v->number);
+      }
+    }
+    graph.spans.push_back(std::move(s));
+  }
+  sort_and_count_orphans(graph);
+  return graph;
+}
+
+const Span* SpanGraph::find_by_name(const std::string& name) const {
+  for (const Span& s : spans) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Span*> SpanGraph::children_of(std::uint64_t parent) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans) {
+    if (s.parent_id == parent && s.id != parent) out.push_back(&s);
+  }
+  return out;
+}
+
+CriticalPathResult CriticalPath::analyze(const SpanGraph& graph,
+                                         const std::string& root_name) {
+  CriticalPathResult result;
+  const Span* root = graph.find_by_name(root_name);
+  if (root == nullptr) return result;
+  result.found = true;
+  result.wall_seconds = static_cast<double>(root->duration_ns) * 1e-9;
+
+  std::vector<const Span*> children = graph.children_of(root->id);
+  result.tasks = children.size();
+  if (children.empty()) {
+    // No observed sub-work: the stage itself is the chain.
+    result.critical_path_seconds = result.wall_seconds;
+    result.chain_length = 1;
+    return result;
+  }
+
+  double covered = 0.0;
+  for (const Span* c : children) {
+    covered += static_cast<double>(c->duration_ns) * 1e-9;
+  }
+  result.coverage = result.wall_seconds > 0.0
+                        ? covered / result.wall_seconds
+                        : 0.0;
+
+  // Weighted interval scheduling over the children: the heaviest chain of
+  // pairwise non-overlapping spans. Overlapping spans ran concurrently,
+  // so they cannot be on one dependent chain; a chain's total duration is
+  // a lower bound on the stage's makespan with unlimited workers.
+  std::sort(children.begin(), children.end(),
+            [](const Span* a, const Span* b) {
+              if (a->end_ns() != b->end_ns()) return a->end_ns() < b->end_ns();
+              return a->start_ns < b->start_ns;
+            });
+  const std::size_t n = children.size();
+  std::vector<double> best(n, 0.0);        // best chain ending at i
+  std::vector<std::size_t> length(n, 1);
+  std::vector<double> prefix_best(n, 0.0); // max(best[0..i])
+  std::vector<std::size_t> prefix_len(n, 1);
+  std::vector<std::uint64_t> ends(n, 0);
+  for (std::size_t i = 0; i < n; ++i) ends[i] = children[i]->end_ns();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dur = static_cast<double>(children[i]->duration_ns) * 1e-9;
+    best[i] = dur;
+    length[i] = 1;
+    // Last child ending at or before this one's start.
+    const auto it = std::upper_bound(ends.begin(), ends.begin() + i,
+                                     children[i]->start_ns);
+    if (it != ends.begin()) {
+      const std::size_t j = static_cast<std::size_t>(it - ends.begin()) - 1;
+      if (prefix_best[j] > 0.0) {
+        best[i] = dur + prefix_best[j];
+        length[i] = 1 + prefix_len[j];
+      }
+    }
+    if (i == 0 || best[i] > prefix_best[i - 1]) {
+      prefix_best[i] = best[i];
+      prefix_len[i] = length[i];
+    } else {
+      prefix_best[i] = prefix_best[i - 1];
+      prefix_len[i] = prefix_len[i - 1];
+    }
+  }
+  result.critical_path_seconds = prefix_best[n - 1];
+  result.chain_length = prefix_len[n - 1];
+  result.parallel_overhead_seconds =
+      std::max(0.0, result.wall_seconds - result.critical_path_seconds);
+  return result;
+}
+
+double HistogramStats::mean() const {
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  double last_finite = 0.0;
+  for (const auto& [le, c] : buckets) {
+    cumulative += c;
+    if (std::isfinite(le)) last_finite = le;
+    if (static_cast<double>(cumulative) >= rank) {
+      return std::isfinite(le) ? le : last_finite;
+    }
+  }
+  return last_finite;
+}
+
+MetricsDoc MetricsDoc::load_file(const std::string& path) {
+  const JsonValue doc = json_parse_file(path);
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_array()) {
+    throw std::runtime_error(path + ": not a metrics snapshot (no metrics)");
+  }
+  MetricsDoc out;
+  out.entries.reserve(metrics->size());
+  for (const JsonValue& m : metrics->array) {
+    if (!m.is_object()) continue;
+    MetricEntry entry;
+    if (const JsonValue* v = m.find("name"); v != nullptr) {
+      entry.name = v->string;
+    }
+    if (const JsonValue* v = m.find("type"); v != nullptr) {
+      entry.type = v->string;
+    }
+    if (const JsonValue* v = m.find("labels");
+        v != nullptr && v->is_object()) {
+      for (const auto& [k, val] : v->object) {
+        entry.labels.emplace_back(k, val.string);
+      }
+    }
+    if (entry.type == "histogram") {
+      if (const JsonValue* v = m.find("count");
+          v != nullptr && v->is_number()) {
+        entry.histogram.count = static_cast<std::uint64_t>(v->number);
+      }
+      if (const JsonValue* v = m.find("sum");
+          v != nullptr && v->is_number()) {
+        entry.histogram.sum = v->number;
+      }
+      if (const JsonValue* v = m.find("buckets");
+          v != nullptr && v->is_array()) {
+        for (const JsonValue& b : v->array) {
+          const JsonValue* le = b.find("le");
+          const JsonValue* c = b.find("count");
+          if (le == nullptr || c == nullptr || !c->is_number()) continue;
+          const double bound =
+              le->is_number() ? le->number
+                              : std::numeric_limits<double>::infinity();
+          entry.histogram.buckets.emplace_back(
+              bound, static_cast<std::uint64_t>(c->number));
+        }
+      }
+    } else if (const JsonValue* v = m.find("value");
+               v != nullptr && v->is_number()) {
+      entry.value = v->number;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+const MetricEntry* MetricsDoc::find(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) const {
+  for (const MetricEntry& e : entries) {
+    if (e.name != name) continue;
+    bool all = true;
+    for (const auto& want : labels) {
+      if (std::find(e.labels.begin(), e.labels.end(), want) ==
+          e.labels.end()) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return &e;
+  }
+  return nullptr;
+}
+
+double MetricsDoc::value_or(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    double fallback) const {
+  const MetricEntry* e = find(name, labels);
+  return e == nullptr ? fallback : e->value;
+}
+
+BundleData BundleData::load(const std::string& path) {
+  BundleData bundle;
+  std::string manifest_path = path;
+  const std::string suffix = "manifest.json";
+  const bool is_manifest =
+      path.size() >= suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  if (is_manifest) {
+    const std::size_t slash = path.find_last_of('/');
+    bundle.dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  } else {
+    bundle.dir = path;
+    while (!bundle.dir.empty() && bundle.dir.back() == '/') {
+      bundle.dir.pop_back();
+    }
+    manifest_path = bundle.dir + "/manifest.json";
+  }
+  bundle.manifest = Manifest::from_json_file(manifest_path);
+  bundle.metrics = MetricsDoc::load_file(bundle.dir + "/metrics.json");
+  try {
+    bundle.trace = SpanGraph::from_chrome_json(bundle.dir + "/trace.json");
+    bundle.has_trace = true;
+  } catch (const std::exception&) {
+    bundle.has_trace = false;  // the trace is optional
+  }
+  return bundle;
+}
+
+namespace {
+
+/// Stage names that carry stage_wall_seconds gauges, in manifest order.
+std::vector<std::string> stage_names(const BundleData& bundle) {
+  std::vector<std::string> names;
+  for (const StageRecord& s : bundle.manifest.stages) {
+    names.push_back(s.stage);
+  }
+  return names;
+}
+
+void render_histogram_line(std::ostringstream& os, const BundleData& bundle,
+                           const char* name, const char* title) {
+  const MetricEntry* e = bundle.metrics.find(name);
+  os << "  " << title << ": ";
+  if (e == nullptr || e->histogram.count == 0) {
+    os << "no samples\n";
+    return;
+  }
+  const HistogramStats& h = e->histogram;
+  os << h.count << " samples, sum " << format_seconds(h.sum) << ", mean "
+     << format_seconds(h.mean()) << ", p50 <= "
+     << format_seconds(h.quantile(0.5)) << ", p99 <= "
+     << format_seconds(h.quantile(0.99)) << "\n";
+}
+
+}  // namespace
+
+std::string render_report(const BundleData& bundle) {
+  std::ostringstream os;
+  const Manifest& m = bundle.manifest;
+  os << "== run manifest ==\n"
+     << "  program:  " << m.info.program << "\n"
+     << "  build:    " << m.git_describe << " (" << m.build_type << ", "
+     << m.compiler << ")\n"
+     << "  run:      seed=" << m.info.seed << " jobs=" << m.info.jobs
+     << " fault_rate=" << m.info.fault_rate;
+  if (!m.info.machine_preset.empty()) {
+    os << " machine=" << m.info.machine_preset;
+  }
+  os << "\n"
+     << "  wall:     " << format_seconds(m.total_wall_seconds)
+     << "  cpu: " << format_seconds(m.cpu_seconds) << "  peak_rss: "
+     << (m.peak_rss_kb >= 0
+             ? std::to_string(m.peak_rss_kb / 1024) + " MB"
+             : std::string("unknown"))
+     << "\n"
+     << "  metrics digest: " << m.metrics_digest << "\n";
+
+  os << "\n== stages ==\n";
+  for (const std::string& stage : stage_names(bundle)) {
+    const double wall = m.stage_wall(stage);
+    os << "  " << stage << ": wall " << format_seconds(wall);
+    const double workers = bundle.metrics.value_or(
+        "stage_pool_workers", {{"stage", stage}}, 0.0);
+    if (workers > 0.0) {
+      const double busy = bundle.metrics.value_or(
+          "stage_pool_busy_seconds", {{"stage", stage}}, 0.0);
+      const double idle = bundle.metrics.value_or(
+          "stage_pool_idle_seconds", {{"stage", stage}}, 0.0);
+      const double util = bundle.metrics.value_or(
+          "stage_pool_utilization", {{"stage", stage}}, 0.0);
+      os << "  |  pool: " << static_cast<int>(workers) << " workers, busy "
+         << format_seconds(busy) << ", idle " << format_seconds(idle)
+         << ", utilization " << static_cast<int>(util * 100.0 + 0.5) << "%";
+    }
+    os << "\n";
+  }
+
+  os << "\n== task attribution (histograms) ==\n";
+  render_histogram_line(os, bundle, "pool_queue_wait_seconds",
+                        "queue wait  ");
+  render_histogram_line(os, bundle, "pool_exec_seconds",
+                        "execution   ");
+  render_histogram_line(os, bundle, "pool_commit_hold_seconds",
+                        "commit hold ");
+
+  if (bundle.has_trace) {
+    os << "\n== critical path ==\n"
+       << "  trace: " << bundle.trace.spans.size() << " spans, "
+       << bundle.trace.orphaned_edges << " orphaned edges\n";
+    for (const std::string& stage : stage_names(bundle)) {
+      const CriticalPathResult cp =
+          CriticalPath::analyze(bundle.trace, stage);
+      if (!cp.found) continue;
+      os << "  " << stage << ": critical path "
+         << format_seconds(cp.critical_path_seconds) << " of "
+         << format_seconds(cp.wall_seconds) << " wall ("
+         << cp.chain_length << "-span chain over " << cp.tasks
+         << " tasks); parallel overhead "
+         << format_seconds(cp.parallel_overhead_seconds);
+      if (cp.coverage < 0.5 && cp.tasks > 0) {
+        os << "  [low span coverage "
+           << static_cast<int>(cp.coverage * 100.0 + 0.5)
+           << "%: stride-sampled spans under-report the chain]";
+      }
+      os << "\n";
+    }
+  } else {
+    os << "\n== critical path ==\n  (no trace.json in bundle)\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Percent change current vs baseline; 0 when the baseline is ~0.
+double pct_change(double baseline, double current) {
+  if (!(baseline > 1e-12)) return 0.0;
+  return (current - baseline) / baseline * 100.0;
+}
+
+/// Regression test with a tolerance so "exactly at threshold" trips
+/// (floating-point pct arithmetic must not mask a configured bound).
+bool trips(double pct, double threshold_pct) {
+  return pct >= threshold_pct - 1e-9;
+}
+
+}  // namespace
+
+DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
+                        const DiffThresholds& thresholds) {
+  DiffResult result;
+  std::ostringstream os;
+  os << "== bundle diff ==\n"
+     << "  baseline: " << baseline.manifest.info.program << " @ "
+     << baseline.manifest.git_describe << " (" << baseline.dir << ")\n"
+     << "  current:  " << current.manifest.info.program << " @ "
+     << current.manifest.git_describe << " (" << current.dir << ")\n"
+     << "  thresholds: stage wall +" << thresholds.stage_wall_pct
+     << "%, queue-wait p99 +" << thresholds.queue_wait_p99_pct << "%\n";
+
+  if (baseline.manifest.metrics_digest == current.manifest.metrics_digest &&
+      !baseline.manifest.metrics_digest.empty()) {
+    os << "  metrics digests identical (" << baseline.manifest.metrics_digest
+       << ")\n";
+  }
+
+  os << "\n== stage wall ==\n";
+  // Union of stage names, baseline order first.
+  std::vector<std::string> stages;
+  for (const StageRecord& s : baseline.manifest.stages) {
+    stages.push_back(s.stage);
+  }
+  for (const StageRecord& s : current.manifest.stages) {
+    if (std::find(stages.begin(), stages.end(), s.stage) == stages.end()) {
+      stages.push_back(s.stage);
+    }
+  }
+  for (const std::string& stage : stages) {
+    const double a = baseline.manifest.stage_wall(stage);
+    const double b = current.manifest.stage_wall(stage);
+    if (a < 0.0 || b < 0.0) {
+      os << "  " << stage << ": only in "
+         << (a < 0.0 ? "current" : "baseline") << " bundle\n";
+      continue;
+    }
+    const double pct = pct_change(a, b);
+    os << "  " << stage << ": " << format_seconds(a) << " -> "
+       << format_seconds(b) << " (" << format_pct(pct) << ")";
+    if (trips(pct, thresholds.stage_wall_pct)) {
+      os << "  REGRESSION";
+      result.regressions.push_back(
+          "stage " + stage + " wall " + format_pct(pct) + " (threshold " +
+          format_pct(thresholds.stage_wall_pct) + ")");
+    }
+    os << "\n";
+  }
+
+  os << "\n== queue wait p99 ==\n";
+  const MetricEntry* qa = baseline.metrics.find("pool_queue_wait_seconds");
+  const MetricEntry* qb = current.metrics.find("pool_queue_wait_seconds");
+  if (qa != nullptr && qb != nullptr && qa->histogram.count > 0 &&
+      qb->histogram.count > 0) {
+    const double a = qa->histogram.quantile(0.99);
+    const double b = qb->histogram.quantile(0.99);
+    const double pct = pct_change(a, b);
+    os << "  pool_queue_wait_seconds p99: " << format_seconds(a) << " -> "
+       << format_seconds(b) << " (" << format_pct(pct) << ")";
+    if (trips(pct, thresholds.queue_wait_p99_pct)) {
+      os << "  REGRESSION";
+      result.regressions.push_back(
+          "pool_queue_wait_seconds p99 " + format_pct(pct) +
+          " (threshold " + format_pct(thresholds.queue_wait_p99_pct) + ")");
+    }
+    os << "\n";
+  } else {
+    os << "  (absent in one or both bundles)\n";
+  }
+
+  os << "\n== resources ==\n"
+     << "  total wall: " << format_seconds(baseline.manifest.total_wall_seconds)
+     << " -> " << format_seconds(current.manifest.total_wall_seconds) << " ("
+     << format_pct(pct_change(baseline.manifest.total_wall_seconds,
+                              current.manifest.total_wall_seconds))
+     << ")\n";
+  if (baseline.manifest.peak_rss_kb >= 0 &&
+      current.manifest.peak_rss_kb >= 0) {
+    os << "  peak rss: " << baseline.manifest.peak_rss_kb / 1024 << " MB -> "
+       << current.manifest.peak_rss_kb / 1024 << " MB ("
+       << format_pct(pct_change(
+              static_cast<double>(baseline.manifest.peak_rss_kb),
+              static_cast<double>(current.manifest.peak_rss_kb)))
+       << ")\n";
+  }
+
+  result.regression = !result.regressions.empty();
+  os << "\n== verdict ==\n";
+  if (result.regression) {
+    os << "  REGRESSION: " << result.regressions.size()
+       << " threshold(s) tripped\n";
+    for (const std::string& r : result.regressions) {
+      os << "    - " << r << "\n";
+    }
+  } else {
+    os << "  OK: no thresholds tripped\n";
+  }
+  result.text = os.str();
+  return result;
+}
+
+}  // namespace coloc::obs

@@ -1,0 +1,84 @@
+// Run manifests: one small JSON artifact per bench/quickstart run that
+// makes runs comparable as artifacts — what was built (git describe,
+// build flags, compiler), what was asked (program, seed, jobs, fault
+// rate, machine preset), and what happened (per-stage wall seconds,
+// total wall/CPU/peak-RSS, a digest of the metrics snapshot).
+//
+// The manifest is the anchor of a "bundle": a directory holding
+// manifest.json + metrics.json + trace.json, produced by the benches'
+// --bundle-out flag and consumed by tools/obs_report (single-bundle
+// attribution report, or two-bundle regression diff for CI gating).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace coloc::obs {
+
+/// FNV-1a 64-bit hash; stable across platforms, used to fingerprint the
+/// (deterministically rendered) metrics JSON so two manifests can assert
+/// "same metrics" without shipping the whole snapshot twice.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Cumulative user+system CPU seconds of this process from
+/// /proc/self/stat, or -1 when unavailable (non-Linux platforms).
+double process_cpu_seconds();
+
+/// Caller-provided run identity, set before the session finalizes.
+struct ManifestInfo {
+  std::string program;         // binary / scenario name
+  std::string machine_preset;  // simulated machine, "" when n/a
+  std::uint64_t seed = 0;
+  std::size_t jobs = 0;
+  double fault_rate = 0.0;
+  /// Free-form extra key/value pairs (CLI flags worth recording).
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// One pipeline stage's wall clock, harvested from the
+/// stage_wall_seconds{stage=...} gauges that StageTimer maintains.
+struct StageRecord {
+  std::string stage;
+  double wall_seconds = 0.0;
+};
+
+struct Manifest {
+  ManifestInfo info;
+  // Build identity, compiled into the obs library by CMake.
+  std::string git_describe;
+  std::string build_type;
+  std::string compiler;
+  std::string build_flags;
+  // Run outcome.
+  double total_wall_seconds = 0.0;
+  double cpu_seconds = -1.0;
+  long peak_rss_kb = -1;
+  std::vector<StageRecord> stages;  // sorted by stage name
+  /// fnv1a64 of to_json(snapshot) rendered as 16 hex digits.
+  std::string metrics_digest;
+
+  /// Builds a manifest from the current build constants, /proc resource
+  /// accounting, and a metrics snapshot (stages + digest come from it).
+  static Manifest collect(const ManifestInfo& info,
+                          const MetricsSnapshot& snapshot,
+                          double total_wall_seconds);
+
+  /// Deterministic JSON rendering (keys in fixed order, stages sorted).
+  std::string to_json() const;
+  /// Writes to_json() to `path`; false on I/O error.
+  bool write(const std::string& path) const;
+
+  /// Parses a manifest written by write(). Unknown keys are ignored so
+  /// newer manifests load in older tools; missing keys keep defaults.
+  static Manifest from_json_file(const std::string& path);
+
+  /// Wall seconds of one stage; -1 when the stage was not recorded.
+  double stage_wall(const std::string& stage) const;
+};
+
+}  // namespace coloc::obs

@@ -67,20 +67,28 @@ std::size_t Histogram::bucket_index(double v) {
   return idx < 1.0 ? 1 : static_cast<std::size_t>(idx);
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t n = count();
+double Histogram::quantile_from_counts(
+    std::span<const std::uint64_t> counts, double q) {
+  std::uint64_t n = 0;
+  for (std::uint64_t c : counts) n += c;
   if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(n);
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    cumulative += bucket_count(i);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
     if (static_cast<double>(cumulative) >= rank) {
       const double upper = bucket_upper_bound(i);
       return std::isinf(upper) ? bucket_upper_bound(kNumBuckets - 2) : upper;
     }
   }
   return bucket_upper_bound(kNumBuckets - 2);
+}
+
+double Histogram::quantile(double q) const {
+  std::array<std::uint64_t, kNumBuckets> counts;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) counts[i] = bucket_count(i);
+  return quantile_from_counts(counts, q);
 }
 
 void Histogram::reset() {
@@ -129,6 +137,7 @@ MetricsSnapshot Registry::snapshot() const {
     const auto& meta = names_.at(key);
     s.name = meta.first;
     s.labels = meta.second;
+    std::sort(s.labels.begin(), s.labels.end());
     s.kind = MetricKind::kCounter;
     s.counter_value = instrument->value();
     snap.samples.push_back(std::move(s));
@@ -138,6 +147,7 @@ MetricsSnapshot Registry::snapshot() const {
     const auto& meta = names_.at(key);
     s.name = meta.first;
     s.labels = meta.second;
+    std::sort(s.labels.begin(), s.labels.end());
     s.kind = MetricKind::kGauge;
     s.gauge_value = instrument->value();
     snap.samples.push_back(std::move(s));
@@ -147,6 +157,7 @@ MetricsSnapshot Registry::snapshot() const {
     const auto& meta = names_.at(key);
     s.name = meta.first;
     s.labels = meta.second;
+    std::sort(s.labels.begin(), s.labels.end());
     s.kind = MetricKind::kHistogram;
     s.histogram_count = instrument->count();
     s.histogram_sum = instrument->sum();
@@ -220,7 +231,14 @@ std::string to_text(const MetricsSnapshot& snapshot) {
 
 std::string to_json(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
-  os << "{\"metrics\":[";
+  // The bucket scheme is part of the document so "le" bounds are
+  // interpretable (and digests comparable) without compiled-in constants.
+  os << "{\"bucket_scheme\":{\"base\":2,\"min_upper_bound\":"
+     << format_double(Histogram::kMinUpperBound)
+     << ",\"num_buckets\":" << Histogram::kNumBuckets
+     << ",\"description\":\"bucket i upper bound = min_upper_bound * 2^i "
+        "(inclusive); bucket 0 absorbs <= min_upper_bound; last bucket is "
+        "+Inf\"},\"metrics\":[";
   bool first = true;
   for (const MetricSample& s : snapshot.samples) {
     if (!first) os << ',';

@@ -25,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -104,6 +105,12 @@ class Histogram {
   /// Approximate quantile (q in [0,1]) from the bucket upper bounds.
   double quantile(double q) const;
 
+  /// Same estimator over an externally-held bucket-count vector (e.g. the
+  /// delta of two exported snapshots); counts.size() may be any length up
+  /// to kNumBuckets, indexed by bucket. Returns 0 when all counts are 0.
+  static double quantile_from_counts(std::span<const std::uint64_t> counts,
+                                     double q);
+
   void reset();
 
  private:
@@ -130,7 +137,9 @@ struct MetricSample {
 };
 
 struct MetricsSnapshot {
-  std::vector<MetricSample> samples;  // sorted by (name, labels)
+  /// Sorted by (name, labels); each sample's labels are themselves sorted
+  /// by key, so every rendering (text, JSON, digests) is deterministic.
+  std::vector<MetricSample> samples;
 
   /// First sample matching name (+labels when given); nullptr if absent.
   const MetricSample* find(const std::string& name,
@@ -197,7 +206,11 @@ class StageTimer {
 /// Renders a snapshot in Prometheus-style text exposition format.
 std::string to_text(const MetricsSnapshot& snapshot);
 
-/// Renders a snapshot as a JSON document: {"metrics": [...]}.
+/// Renders a snapshot as a JSON document:
+/// {"bucket_scheme": {...}, "metrics": [...]}. Key order is deterministic
+/// (samples sorted by name+labels, label keys sorted), and bucket_scheme
+/// documents the histogram bucket boundaries (log base-2 buckets, see
+/// Histogram) so a consumer can interpret "le" bounds without this header.
 std::string to_json(const MetricsSnapshot& snapshot);
 
 /// Writes a snapshot to `path`; format is JSON when the path ends in

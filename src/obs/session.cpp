@@ -24,6 +24,8 @@ void ObsSession::finalize() {
   if (finalized_) return;
   finalized_ = true;
 
+  if (options_.flush_hook) options_.flush_hook();
+
   if (sink_ != nullptr) {
     if (TraceSink::current() == sink_.get()) TraceSink::uninstall();
     if (!sink_->write_chrome_json(options_.trace_out)) {
@@ -37,11 +39,24 @@ void ObsSession::finalize() {
     }
   }
 
-  if (!options_.metrics_out.empty()) {
-    if (!write_metrics_file(Registry::global().snapshot(),
-                            options_.metrics_out)) {
+  if (!options_.metrics_out.empty() || !options_.manifest_out.empty()) {
+    const MetricsSnapshot snapshot = Registry::global().snapshot();
+    if (!options_.metrics_out.empty() &&
+        !write_metrics_file(snapshot, options_.metrics_out)) {
       std::fprintf(stderr, "[obs] failed to write metrics file %s\n",
                    options_.metrics_out.c_str());
+    }
+    if (!options_.manifest_out.empty()) {
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count();
+      const Manifest manifest =
+          Manifest::collect(options_.manifest, snapshot, wall_s);
+      if (!manifest.write(options_.manifest_out)) {
+        std::fprintf(stderr, "[obs] failed to write manifest file %s\n",
+                     options_.manifest_out.c_str());
+      }
     }
   }
 

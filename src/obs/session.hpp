@@ -12,9 +12,11 @@
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "obs/manifest.hpp"
 #include "obs/trace.hpp"
 
 namespace coloc::obs {
@@ -26,10 +28,22 @@ struct ObsOptions {
   /// Chrome-trace destination ("" = tracing disabled). A flat CSV twin is
   /// written alongside (extension replaced by .csv).
   std::string trace_out;
+  /// Run-manifest destination ("" = none): build identity, run identity
+  /// (from `manifest`), per-stage wall clock, total wall/CPU/RSS, and a
+  /// digest of the metrics snapshot. See obs/manifest.hpp.
+  std::string manifest_out;
+  /// Run identity recorded in the manifest (program, seed, jobs, ...).
+  ManifestInfo manifest;
   /// Print "total_wall_time_s=... peak_rss_mb=..." on stdout at the end.
   bool report_resources = false;
   /// Prefix for the resource line (usually the program name).
   std::string label = "run";
+  /// Invoked by finalize() before the trace sink is uninstalled. The obs
+  /// layer sits below the thread pool, so callers that fan work out set
+  /// this to ThreadPool::quiesce — otherwise a worker descheduled between
+  /// fulfilling a task's future and closing its span can lose that span
+  /// to the sink swap, orphaning the span's already-recorded children.
+  std::function<void()> flush_hook;
 };
 
 class ObsSession {
@@ -46,6 +60,10 @@ class ObsSession {
 
   /// The session's trace sink (nullptr when tracing is disabled).
   TraceSink* sink() { return sink_.get(); }
+
+  /// Mutable run identity, so callers can record flags parsed after the
+  /// session was constructed (it is read at finalize time).
+  ManifestInfo& manifest_info() { return options_.manifest; }
 
  private:
   ObsOptions options_;

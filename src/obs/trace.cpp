@@ -19,6 +19,9 @@ namespace {
 // never alias a new sink allocated at a recycled address.
 std::atomic<std::uint64_t> g_generation{0};
 
+// Span ids start at 1; 0 means "no span" everywhere.
+std::atomic<std::uint64_t> g_next_span_id{1};
+
 std::chrono::steady_clock::time_point trace_epoch() {
   static const std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
@@ -27,6 +30,10 @@ std::chrono::steady_clock::time_point trace_epoch() {
 
 // Per-thread nesting depth for ScopedSpan.
 thread_local std::uint32_t t_depth = 0;
+
+// Innermost open span on this thread (0 = none). Maintained only while a
+// sink is installed: disabled spans neither allocate ids nor touch it.
+thread_local std::uint64_t t_current_span = 0;
 
 // Per-thread cached buffer registration, keyed by sink identity.
 struct ThreadCache {
@@ -50,6 +57,20 @@ std::uint64_t trace_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - trace_epoch())
           .count());
+}
+
+std::uint64_t current_span_id() { return t_current_span; }
+
+void trace_counter(const char* name, double value) {
+  TraceSink* sink = TraceSink::current();
+  if (sink == nullptr) return;
+  TraceEvent event;
+  event.name = name;
+  event.kind = TraceEvent::Kind::kCounter;
+  event.tid = thread_index();
+  event.start_ns = trace_now_ns();
+  event.value = value;
+  sink->record(std::move(event));
 }
 
 TraceSink::~TraceSink() {
@@ -123,14 +144,27 @@ bool TraceSink::write_chrome_json(const std::string& path) const {
   for (const TraceEvent& e : events()) {
     if (!first) os << ',';
     first = false;
+    if (e.kind == TraceEvent::Kind::kCounter) {
+      // Counter samples ("ph":"C"): one series per counter name, rendered
+      // by chrome://tracing / Perfetto as a stacked timeline.
+      os << "{\"name\":\"" << json_escape(e.name)
+         << "\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\"tid\":" << e.tid
+         << ",\"ts\":" << static_cast<double>(e.start_ns) / 1e3
+         << ",\"args\":{\"value\":" << std::setprecision(6) << e.value
+         << std::setprecision(3) << "}}";
+      continue;
+    }
     // Complete events ("ph":"X") with microsecond timestamps, as expected
-    // by chrome://tracing and Perfetto.
+    // by chrome://tracing and Perfetto. The span id and parent edge ride
+    // in "args" so obs::attribution can rebuild the dependency graph from
+    // the exported file alone.
     os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
        << json_escape(e.category.empty() ? "span" : e.category)
        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"ts\":"
        << static_cast<double>(e.start_ns) / 1e3 << ",\"dur\":"
        << static_cast<double>(e.duration_ns) / 1e3
-       << ",\"args\":{\"depth\":" << e.depth << "}}";
+       << ",\"args\":{\"depth\":" << e.depth << ",\"id\":" << e.id
+       << ",\"parent\":" << e.parent_id << "}}";
   }
   os << "]}";
   return static_cast<bool>(os);
@@ -154,18 +188,23 @@ void write_csv_field(std::ostream& os, const std::string& field) {
 bool TraceSink::write_csv(const std::string& path) const {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) return false;
-  os << "name,category,tid,depth,start_ns,duration_ns\n";
+  os << "name,category,tid,depth,id,parent_id,start_ns,duration_ns\n";
   for (const TraceEvent& e : events()) {
+    if (e.kind != TraceEvent::Kind::kSpan) continue;
     write_csv_field(os, e.name);
     os << ',';
     write_csv_field(os, e.category);
-    os << ',' << e.tid << ',' << e.depth << ',' << e.start_ns << ','
-       << e.duration_ns << '\n';
+    os << ',' << e.tid << ',' << e.depth << ',' << e.id << ','
+       << e.parent_id << ',' << e.start_ns << ',' << e.duration_ns << '\n';
   }
   return static_cast<bool>(os);
 }
 
 void ScopedSpan::begin() {
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  if (!explicit_parent_) parent_id_ = t_current_span;
+  saved_current_ = t_current_span;
+  t_current_span = id_;
   start_ns_ = trace_now_ns();
   ++t_depth;
 }
@@ -173,6 +212,7 @@ void ScopedSpan::begin() {
 void ScopedSpan::end() {
   const std::uint64_t end_ns = trace_now_ns();
   const std::uint32_t depth = --t_depth;
+  t_current_span = saved_current_;
   // The sink may have been swapped while the span was open; record on the
   // sink that was active at construction only if it is still installed.
   if (TraceSink::current() != sink_) return;
@@ -181,6 +221,8 @@ void ScopedSpan::end() {
   event.category = category_;
   event.tid = thread_index();
   event.depth = depth;
+  event.id = id_;
+  event.parent_id = parent_id_;
   event.start_ns = start_ns_;
   event.duration_ns = end_ns - start_ns_;
   sink_->record(std::move(event));

@@ -244,6 +244,39 @@ TEST(Export, WritesJsonOrTextByExtension) {
   EXPECT_EQ(doc.at("metrics").size(), 1u);
 }
 
+TEST(Export, JsonDocumentsBucketSchemeAndIsDeterministic) {
+  Registry registry;
+  // Register labels in shuffled key order; the snapshot must sort them so
+  // repeated exports (and their digests) are byte-identical.
+  registry.counter("cells_total", {{"phase", "alone"}, {"app", "cg"}}).inc(7);
+  registry.histogram("cell_seconds").observe(0.5);
+
+  const std::string first = to_json(registry.snapshot());
+  const std::string second = to_json(registry.snapshot());
+  EXPECT_EQ(first, second);
+
+  const JsonValue doc = json_parse(first);
+  const JsonValue& scheme = doc.at("bucket_scheme");
+  EXPECT_DOUBLE_EQ(scheme.at("base").number, 2.0);
+  EXPECT_DOUBLE_EQ(scheme.at("min_upper_bound").number,
+                   Histogram::kMinUpperBound);
+  EXPECT_DOUBLE_EQ(scheme.at("num_buckets").number,
+                   static_cast<double>(Histogram::kNumBuckets));
+  EXPECT_TRUE(scheme.at("description").is_string());
+
+  // Label keys render sorted regardless of registration order.
+  bool saw_labeled_counter = false;
+  for (const JsonValue& m : doc.at("metrics").array) {
+    if (m.at("name").string != "cells_total") continue;
+    saw_labeled_counter = true;
+    const JsonValue& labels = m.at("labels");
+    ASSERT_EQ(labels.object.size(), 2u);
+    EXPECT_EQ(labels.object[0].first, "app");
+    EXPECT_EQ(labels.object[1].first, "phase");
+  }
+  EXPECT_TRUE(saw_labeled_counter);
+}
+
 TEST(GlobalRegistry, IsASingleton) {
   EXPECT_EQ(&Registry::global(), &Registry::global());
 }

@@ -133,6 +133,10 @@ TEST(TraceSink, ChromeJsonRoundTripsThroughTheJsonReader) {
   EXPECT_TRUE(first.at("dur").is_number());
   EXPECT_DOUBLE_EQ(first.at("args").at("depth").number, 0.0);
   EXPECT_DOUBLE_EQ(events.at(1).at("args").at("depth").number, 1.0);
+  // Span edges ride in args: the inner span's parent is the outer's id.
+  EXPECT_DOUBLE_EQ(first.at("args").at("parent").number, 0.0);
+  EXPECT_DOUBLE_EQ(events.at(1).at("args").at("parent").number,
+                   first.at("args").at("id").number);
   // The inner span starts no earlier and lasts no longer.
   EXPECT_GE(events.at(1).at("ts").number, first.at("ts").number);
   EXPECT_LE(events.at(1).at("dur").number, first.at("dur").number);
@@ -151,13 +155,85 @@ TEST(TraceSink, CsvRoundTripsThroughTheCsvReader) {
 
   const CsvTable table = CsvTable::load(path);
   const std::vector<std::string> expected_header = {
-      "name", "category", "tid", "depth", "start_ns", "duration_ns"};
+      "name",  "category", "tid",      "depth",
+      "id",    "parent_id", "start_ns", "duration_ns"};
   EXPECT_EQ(table.header(), expected_header);
   ASSERT_EQ(table.num_rows(), 1u);
   EXPECT_EQ(table.at(0, table.column("name")), "has,comma and \"quotes\"");
   EXPECT_EQ(table.at(0, table.column("category")), "csv");
   EXPECT_EQ(table.at(0, table.column("depth")), "0");
+  EXPECT_EQ(table.at(0, table.column("parent_id")), "0");
+  EXPECT_GT(table.at_double(0, table.column("id")), 0.0);
   EXPECT_GE(table.at_double(0, table.column("duration_ns")), 0.0);
+}
+
+TEST(ScopedSpan, ExplicitParentLinksAcrossThreads) {
+  TraceSink sink;
+  sink.install();
+  {
+    ScopedSpan submitter("submit", "test");
+    const std::uint64_t parent = current_span_id();
+    EXPECT_NE(parent, 0u);
+    std::thread([parent] {
+      ScopedSpan task("task", "test", parent);
+    }).join();
+  }
+  TraceSink::uninstall();
+
+  const std::vector<TraceEvent> events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& submit = events[0].name == "submit" ? events[0] : events[1];
+  const auto& task = events[0].name == "task" ? events[0] : events[1];
+  EXPECT_EQ(submit.parent_id, 0u);
+  EXPECT_EQ(task.parent_id, submit.id);
+  EXPECT_NE(task.tid, submit.tid);
+}
+
+TEST(CurrentSpanId, ZeroOutsideAnySpan) {
+  TraceSink sink;
+  sink.install();
+  EXPECT_EQ(current_span_id(), 0u);
+  {
+    ScopedSpan span("outer");
+    EXPECT_NE(current_span_id(), 0u);
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+  TraceSink::uninstall();
+}
+
+TEST(TraceCounter, RecordedInChromeJsonButNotCsv) {
+  TraceSink sink;
+  sink.install();
+  trace_counter("pool/busy_workers", 3.0);
+  { ScopedSpan span("work"); }
+  TraceSink::uninstall();
+
+  const std::string json_path = testing::TempDir() + "coloc_counter.json";
+  ASSERT_TRUE(sink.write_chrome_json(json_path));
+  const JsonValue doc = json_parse_file(json_path);
+  const JsonValue& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_counter = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JsonValue& e = events.at(i);
+    if (e.at("ph").string == "C") {
+      saw_counter = true;
+      EXPECT_EQ(e.at("name").string, "pool/busy_workers");
+      EXPECT_DOUBLE_EQ(e.at("args").at("value").number, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+
+  const std::string csv_path = testing::TempDir() + "coloc_counter.csv";
+  ASSERT_TRUE(sink.write_csv(csv_path));
+  const CsvTable table = CsvTable::load(csv_path);
+  ASSERT_EQ(table.num_rows(), 1u) << "counters are spans-only CSV noise";
+  EXPECT_EQ(table.at(0, table.column("name")), "work");
+}
+
+TEST(TraceCounter, NoOpWithoutSink) {
+  TraceSink::uninstall();
+  trace_counter("ignored", 1.0);  // must not crash
 }
 
 TEST(TraceSink, SpansIgnoreSinksInstalledMidSpan) {

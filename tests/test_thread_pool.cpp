@@ -112,6 +112,66 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   EXPECT_EQ(counter.load(), 32);
 }
 
+TEST(ThreadPoolTest, QuiesceWaitsForAllBookkeeping) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&counter] {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      ++counter;
+    });
+  }
+  pool.quiesce();
+  // Once quiesce returns, every task has retired: counted in stats(),
+  // busy time booked, no task still mid-flight.
+  EXPECT_EQ(counter.load(), 64);
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks, 64u);
+  EXPECT_GT(s.busy_seconds, 0.0);
+
+  // The pool stays usable after a quiesce.
+  pool.submit([&counter] { ++counter; }).get();
+  EXPECT_EQ(counter.load(), 65);
+  pool.quiesce();  // idempotent on an idle pool
+}
+
+TEST(PoolStats, IdlePoolHasNearZeroUtilization) {
+  // Satellite regression test: workers parked in the condition-variable
+  // wait (including the final wait released by shutdown()) must book that
+  // time as idle, never busy.
+  ThreadPool pool(2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const PoolStats live = pool.stats();
+  EXPECT_EQ(live.tasks, 0u);
+  EXPECT_GE(live.idle_seconds, 0.04) << "open waits count as idle";
+  EXPECT_LT(live.utilization(), 0.05);
+
+  pool.shutdown();
+  const PoolStats final_stats = pool.stats();
+  EXPECT_EQ(final_stats.workers, 2u);
+  EXPECT_DOUBLE_EQ(final_stats.busy_seconds, 0.0);
+  EXPECT_GE(final_stats.idle_seconds, 0.04);
+  EXPECT_LT(final_stats.utilization(), 0.05)
+      << "the final shutdown wait must not be booked as busy";
+}
+
+TEST(PoolStats, BusyTimeCoversTaskExecution) {
+  ThreadPool pool(1);
+  pool.submit([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }).get();
+  pool.shutdown();
+  const PoolStats s = pool.stats();
+  EXPECT_EQ(s.tasks, 1u);
+  EXPECT_GE(s.busy_seconds, 0.025);
+  EXPECT_GT(s.utilization(), 0.0);
+}
+
+TEST(PoolStats, FreshPoolReportsZeroUtilizationNotNan) {
+  const PoolStats s;  // busy == idle == 0
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+}
+
 TEST(GlobalPool, IsSingleton) {
   EXPECT_EQ(&global_pool(), &global_pool());
   EXPECT_GE(global_pool().size(), 1u);
