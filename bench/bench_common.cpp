@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/storage_fault.hpp"
 
 namespace coloc::bench {
 
@@ -25,10 +26,19 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.trace_out = args.get("trace-out", "");
   config.bundle_out = args.get("bundle-out", "");
   config.fault_rate = args.get_double("fault-rate", config.fault_rate);
+  if (args.has("fault-rate")) {
+    fault::validate_fault_rate(config.fault_rate, "--fault-rate");
+  }
+  config.fault_kinds = args.get("fault-kinds", "");
+  if (!config.fault_kinds.empty()) {
+    fault::parse_fault_kinds(config.fault_kinds);  // reject bad tokens early
+  }
   config.checkpoint = args.get("checkpoint", "");
   config.checkpoint_every = static_cast<std::size_t>(args.get_int(
       "checkpoint-every", static_cast<std::int64_t>(config.checkpoint_every)));
   config.resume = args.get_bool("resume", false);
+  config.zoo_out = args.get("zoo-out", "");
+  config.zoo_in = args.get("zoo-in", "");
   if (!args.program().empty()) {
     const std::string& program = args.program();
     const auto slash = program.find_last_of('/');
@@ -70,6 +80,13 @@ obs::ObsOptions HarnessConfig::run_session() const {
   options.manifest.extra.emplace_back("nn_iters",
                                       std::to_string(nn_iterations));
   options.manifest.extra.emplace_back("quick", quick ? "1" : "0");
+  // Recovery provenance: which fault plan (if any) shaped this run. The
+  // zoo bundle digest joins these via obs::add_manifest_extra when a
+  // bundle is saved or loaded.
+  options.manifest.extra.emplace_back("fault_seed",
+                                      std::to_string(fault_plan().seed));
+  if (!zoo_out.empty()) options.manifest.extra.emplace_back("zoo_out", zoo_out);
+  if (!zoo_in.empty()) options.manifest.extra.emplace_back("zoo_in", zoo_in);
   // Let workers retire their open spans before the session writes the
   // trace; see ObsOptions::flush_hook.
   options.flush_hook = [] { global_pool().quiesce(); };
@@ -79,6 +96,7 @@ obs::ObsOptions HarnessConfig::run_session() const {
 fault::FaultPlanConfig HarnessConfig::fault_plan() const {
   fault::FaultPlanConfig plan = fault::FaultPlanConfig::from_env();
   if (fault_rate >= 0.0) plan.rate = fault_rate;
+  if (!fault_kinds.empty()) plan.kinds = fault::parse_fault_kinds(fault_kinds);
   return plan;
 }
 

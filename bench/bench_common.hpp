@@ -52,9 +52,12 @@ struct HarnessConfig {
   std::string bundle_out;   // --bundle-out (bundle dir; wins over both)
   std::string program = "bench";
   double fault_rate = -1.0;  // --fault-rate; < 0 defers to COLOC_FAULT_RATE
+  std::string fault_kinds;   // --fault-kinds; "" defers to COLOC_FAULT_KINDS
   std::string checkpoint;    // --checkpoint; "" disables checkpointing
   std::size_t checkpoint_every = 25;  // --checkpoint-every
   bool resume = false;                // --resume
+  std::string zoo_out;  // --zoo-out: save the trained zoo bundle here
+  std::string zoo_in;   // --zoo-in: load (and repair) a zoo bundle from here
 
   static HarnessConfig from_cli(const CliArgs& args);
 

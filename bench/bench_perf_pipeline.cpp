@@ -17,6 +17,14 @@
 //   gate solve_cache_bit_identical cached contention solve == cold solve
 //   gate campaign_parallel_bit_identical  parallel campaign == serial sweep
 //   gate zoo_parallel_bit_identical       parallel 12-model zoo == serial
+//   gate zoo_warm_start_bit_identical     zoo reloaded from the store
+//                                         bundle == freshly trained zoo
+//
+// The warm-start arm times training the full 12-model zoo cold against
+// saving it to a checksummed store bundle (--zoo-out, default
+// BENCH_zoo_bundle) and loading it back (--zoo-in overrides the load
+// path). At --fault-rate 0 the reloaded models must serialize
+// byte-identically to the trained ones.
 //
 // The campaign and model-zoo stages are additionally timed serial vs.
 // parallel (--jobs / COLOC_JOBS workers) and the speedups reported; on a
@@ -32,15 +40,18 @@
 #include <fstream>
 #include <memory>
 #include <span>
+#include <sstream>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/zoo_artifacts.hpp"
 #include "linalg/matrix.hpp"
 #include "ml/dataset.hpp"
 #include "ml/mlp.hpp"
 #include "ml/scg.hpp"
+#include "ml/serialization.hpp"
 #include "ml/validation.hpp"
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
@@ -549,6 +560,54 @@ int main(int argc, char** argv) {
                     bitwise_equal(a.train_nrmse, b.train_nrmse);
   }
 
+  // --- Stage 2c: warm start from the artifact store. Train the full
+  // twelve-model zoo once (cold), persist it as a checksummed bundle,
+  // reload it, and require the reloaded models to serialize
+  // byte-identically to the trained ones. The interesting number is the
+  // warm-start speedup: what a deployment saves by shipping the bundle
+  // instead of retraining at boot.
+  const std::string zoo_bundle_dir =
+      !config.zoo_out.empty() ? config.zoo_out : std::string("BENCH_zoo_bundle");
+  const std::string zoo_load_dir =
+      !config.zoo_in.empty() ? config.zoo_in : zoo_bundle_dir;
+  store::FileOps& files = store::FileOps::real();
+
+  t0 = std::chrono::steady_clock::now();
+  const core::TrainedZoo zoo_cold =
+      core::train_full_zoo(campaign.dataset, zoo_config.zoo);
+  const double zoo_cold_s = seconds_since(t0);
+
+  const store::ZooSaveResult saved = core::save_trained_zoo(
+      files, zoo_bundle_dir, zoo_cold,
+      {{"seed", std::to_string(config.seed)},
+       {"machine", machine.name},
+       {"nn_iters", std::to_string(zoo_config.zoo.mlp.max_iterations)}});
+  obs::add_manifest_extra("zoo_bundle_digest", saved.bundle_digest);
+
+  t0 = std::chrono::steady_clock::now();
+  const core::ZooLoadOutcome warm = core::load_or_repair_zoo(
+      files, zoo_load_dir, campaign.dataset, zoo_config.zoo);
+  const double zoo_warm_s = seconds_since(t0);
+  const double warm_speedup = zoo_warm_s > 0.0 ? zoo_cold_s / zoo_warm_s : 0.0;
+  std::printf("zoo train (cold)     : %8.3f s  (12 models)\n", zoo_cold_s);
+  std::printf("zoo load (warm)      : %8.3f s  (%.2fx vs cold; %zu "
+              "retrained)\n",
+              zoo_warm_s, warm_speedup, warm.retrained.size());
+
+  bool zoo_warm_identical = warm.retrained.empty();
+  for (const auto& [name, cold_model] : zoo_cold.models) {
+    if (!zoo_warm_identical) break;
+    const ml::Regressor* warm_model = warm.zoo.find(name);
+    if (warm_model == nullptr) {
+      zoo_warm_identical = false;
+      break;
+    }
+    std::ostringstream cold_bytes, warm_bytes;
+    ml::save_model(cold_bytes, *cold_model);
+    ml::save_model(warm_bytes, *warm_model);
+    zoo_warm_identical = cold_bytes.str() == warm_bytes.str();
+  }
+
   const double end_to_end_serial_s = campaign_serial_s + zoo_serial_s;
   const double end_to_end_parallel_s = campaign_s + zoo_parallel_s;
   const double end_to_end_speedup =
@@ -654,6 +713,11 @@ int main(int argc, char** argv) {
   gates.push_back({"zoo_parallel_bit_identical", zoo_identical ? 0.0 : 1.0,
                    0.0});
 
+  // (f) the store round-trip: models reloaded from the zoo bundle must be
+  // byte-identical to the freshly trained zoo (and nothing retrained).
+  gates.push_back({"zoo_warm_start_bit_identical",
+                   zoo_warm_identical ? 0.0 : 1.0, 0.0});
+
   {  // (d) memoized contention solve must be bit-identical to a cold solve.
     const sim::ApplicationSpec cg = sim::find_application("cg");
     const std::vector<sim::ApplicationSpec> coapps(3, cg);
@@ -705,12 +769,17 @@ int main(int argc, char** argv) {
        << "    \"campaign_parallel\": " << campaign_s << ",\n"
        << "    \"zoo_serial\": " << zoo_serial_s << ",\n"
        << "    \"zoo_parallel\": " << zoo_parallel_s << ",\n"
+       << "    \"zoo_train_cold\": " << zoo_cold_s << ",\n"
+       << "    \"zoo_load_warm\": " << zoo_warm_s << ",\n"
        << "    \"end_to_end_serial\": " << end_to_end_serial_s << ",\n"
        << "    \"end_to_end_parallel\": " << end_to_end_parallel_s << ",\n"
        << "    \"validation_legacy\": " << legacy_s << ",\n"
        << "    \"validation_fast\": " << fast_s << "\n  },\n"
        << "  \"campaign_speedup\": " << campaign_speedup << ",\n"
        << "  \"zoo_speedup\": " << zoo_speedup << ",\n"
+       << "  \"zoo_warm_start_speedup\": " << warm_speedup << ",\n"
+       << "  \"zoo_bundle_digest\": \"" << saved.bundle_digest << "\",\n"
+       << "  \"zoo_models_retrained\": " << warm.retrained.size() << ",\n"
        << "  \"end_to_end_speedup\": " << end_to_end_speedup << ",\n"
        << "  \"validation_speedup\": " << speedup << ",\n"
        << "  \"fast\": {\"test_mpe\": " << fast.test_mpe

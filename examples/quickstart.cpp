@@ -22,21 +22,33 @@
 //
 // Robustness flags (see the Robustness section in README.md):
 //   --fault-rate=P         inject measurement faults at rate P (also
-//                          settable via COLOC_FAULT_RATE)
+//                          settable via COLOC_FAULT_RATE; must be in [0,1])
+//   --fault-kinds=LIST     restrict injected kinds (transient,corrupt,
+//                          outlier,hang)
 //   --checkpoint=FILE      checkpoint completed campaign cells to FILE
 //   --checkpoint-every=N   cells between periodic checkpoint flushes
 //   --resume               load FILE first and skip measured cells
+//   --zoo-out=DIR          train the full 12-model zoo and save it as a
+//                          checksummed bundle under DIR
+//   --zoo-in=DIR           reload the zoo bundle from DIR (corrupt or
+//                          missing entries are retrained on the spot) and
+//                          predict with its nn-F model instead of training
 #include <cstdio>
 #include <filesystem>
 #include <system_error>
+#include <utility>
 
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
 #include "core/methodology.hpp"
+#include "core/zoo_artifacts.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/storage_fault.hpp"
+#include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
+#include "store/file_ops.hpp"
 
 int main(int argc, char** argv) {
   using namespace coloc;
@@ -75,7 +87,17 @@ int main(int argc, char** argv) {
   // default rate of zero the injector is a pass-through and the run is
   // numerically identical to an unwrapped sweep.
   fault::FaultPlanConfig fault_config = fault::FaultPlanConfig::from_env();
-  fault_config.rate = args.get_double("fault-rate", fault_config.rate);
+  try {
+    fault_config.rate = fault::validate_fault_rate(
+        args.get_double("fault-rate", fault_config.rate), "--fault-rate");
+    if (const std::string kinds = args.get("fault-kinds", "");
+        !kinds.empty()) {
+      fault_config.kinds = fault::parse_fault_kinds(kinds);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 2;
+  }
   const fault::FaultPlan plan(fault_config);
   fault::FaultInjector source(testbed, plan);
 
@@ -108,8 +130,47 @@ int main(int argc, char** argv) {
   zoo.mlp.max_iterations = 1200;
   const core::ModelId model_id{core::ModelTechnique::kNeuralNetwork,
                                core::FeatureSet::kF};
+
+  // Optional artifact-store round trip: --zoo-out trains the full
+  // twelve-model zoo and persists it as a checksummed bundle; --zoo-in
+  // reloads such a bundle (repairing any damaged entry by retraining just
+  // that model) and predicts with the reloaded nn-F instead of training.
+  const std::string zoo_out = args.get("zoo-out", "");
+  const std::string zoo_in = args.get("zoo-in", "");
+  store::FileOps& files = store::FileOps::real();
+  const auto provenance = [&] {
+    return std::vector<std::pair<std::string, std::string>>{
+        {"machine", machine.name},
+        {"nn_iters", std::to_string(zoo.mlp.max_iterations)}};
+  };
+
+  ml::RegressorPtr reloaded_nn_f;
+  if (!zoo_in.empty()) {
+    core::ZooLoadOutcome outcome = core::load_or_repair_zoo(
+        files, zoo_in, campaign.dataset, zoo, core::all_model_ids(),
+        provenance());
+    std::printf("  zoo bundle %s: %s%s\n", zoo_in.c_str(),
+                outcome.report.summary().c_str(),
+                outcome.repaired ? " (repaired on disk)" : "");
+    obs::add_manifest_extra("zoo_bundle_digest",
+                            outcome.report.bundle_digest);
+    reloaded_nn_f = std::move(outcome.zoo.models.at(model_id.name()));
+  }
+  if (!zoo_out.empty()) {
+    const core::TrainedZoo full_zoo =
+        core::train_full_zoo(campaign.dataset, zoo);
+    const store::ZooSaveResult saved =
+        core::save_trained_zoo(files, zoo_out, full_zoo, provenance());
+    std::printf("  zoo bundle saved to %s (12 models, digest %s)\n",
+                zoo_out.c_str(), saved.bundle_digest.c_str());
+    obs::add_manifest_extra("zoo_bundle_digest", saved.bundle_digest);
+  }
+
   const core::ColocationPredictor predictor =
-      core::ColocationPredictor::train(campaign.dataset, model_id, zoo);
+      reloaded_nn_f != nullptr
+          ? core::ColocationPredictor::from_model(model_id,
+                                                  std::move(reloaded_nn_f))
+          : core::ColocationPredictor::train(campaign.dataset, model_id, zoo);
 
   // 4. Validate with the paper's protocol (a light 10-partition version;
   //    the full experiments use --partitions=100).

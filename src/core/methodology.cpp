@@ -69,6 +69,14 @@ ColocationPredictor ColocationPredictor::train(const ml::Dataset& dataset,
                              {columns.begin(), columns.end()});
 }
 
+ColocationPredictor ColocationPredictor::from_model(const ModelId& id,
+                                                    ml::RegressorPtr model) {
+  COLOC_CHECK_MSG(model != nullptr, "predictor needs a model");
+  const auto& columns = feature_set_columns(id.feature_set);
+  return ColocationPredictor(id, std::move(model),
+                             {columns.begin(), columns.end()});
+}
+
 double ColocationPredictor::predict_time(
     const BaselineProfile& target,
     const std::vector<const BaselineProfile*>& coapps,

@@ -54,6 +54,11 @@ class ColocationPredictor {
                                    const ModelId& id,
                                    const ModelZooOptions& options = {});
 
+  /// Wraps an already-trained model (e.g. one verified entry out of a
+  /// store zoo bundle) as a deployable predictor for its identity.
+  static ColocationPredictor from_model(const ModelId& id,
+                                        ml::RegressorPtr model);
+
   /// Predicts the target's co-located execution time (seconds) when run at
   /// `pstate_index` next to the given co-runner baselines.
   double predict_time(const BaselineProfile& target,

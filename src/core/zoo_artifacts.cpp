@@ -1,0 +1,125 @@
+#include "core/zoo_artifacts.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
+namespace coloc::core {
+
+namespace {
+
+ml::RegressorPtr train_one(const ml::Dataset& dataset, const ModelId& id,
+                           const ModelZooOptions& options) {
+  const auto& columns = feature_set_columns(id.feature_set);
+  std::vector<std::size_t> rows(dataset.num_rows());
+  std::iota(rows.begin(), rows.end(), 0);
+  const linalg::Matrix x = dataset.design_matrix(rows, columns);
+  const std::vector<double> y = dataset.target_subset(rows);
+  return make_model_factory(id, options)(x, y);
+}
+
+obs::Counter& retrained_counter() {
+  return obs::Registry::global().counter("zoo_models_retrained_total");
+}
+
+}  // namespace
+
+ModelId parse_model_id(const std::string& name) {
+  const std::size_t dash = name.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 1 >= name.size()) {
+    throw coloc::invalid_argument_error(
+        "model id must look like 'linear-A' or 'nn-F', got '" + name + "'");
+  }
+  const std::string technique = name.substr(0, dash);
+  ModelId id;
+  if (technique == "linear") {
+    id.technique = ModelTechnique::kLinear;
+  } else if (technique == "nn") {
+    id.technique = ModelTechnique::kNeuralNetwork;
+  } else {
+    throw coloc::invalid_argument_error("unknown model technique: '" +
+                                        technique + "'");
+  }
+  id.feature_set = parse_feature_set(name.substr(dash + 1));
+  return id;
+}
+
+std::vector<ModelId> all_model_ids() {
+  std::vector<ModelId> ids;
+  for (ModelTechnique technique : kAllTechniques) {
+    for (FeatureSet set : kAllFeatureSets) {
+      ids.push_back(ModelId{technique, set});
+    }
+  }
+  return ids;
+}
+
+const ml::Regressor* TrainedZoo::find(const std::string& name) const {
+  const auto it = models.find(name);
+  return it == models.end() ? nullptr : it->second.get();
+}
+
+TrainedZoo train_full_zoo(const ml::Dataset& dataset,
+                          const ModelZooOptions& options,
+                          const std::vector<ModelId>& ids) {
+  COLOC_CHECK_MSG(dataset.num_rows() > 0, "cannot train a zoo on no rows");
+  TrainedZoo zoo;
+  zoo.ids = ids;
+  for (const ModelId& id : ids) {
+    zoo.models.emplace(id.name(), train_one(dataset, id, options));
+  }
+  return zoo;
+}
+
+store::ZooSaveResult save_trained_zoo(
+    store::FileOps& files, const std::string& dir, const TrainedZoo& zoo,
+    std::vector<std::pair<std::string, std::string>> provenance) {
+  std::vector<store::ZooModel> models;
+  models.reserve(zoo.models.size());
+  for (const auto& [name, model] : zoo.models) {
+    models.push_back(store::ZooModel{name, model.get()});
+  }
+  provenance.emplace_back("format", "coloc-zoo");
+  provenance.emplace_back("models", std::to_string(models.size()));
+  return store::save_zoo(files, dir, models, provenance);
+}
+
+ZooLoadOutcome load_or_repair_zoo(
+    store::FileOps& files, const std::string& dir,
+    const ml::Dataset& dataset, const ModelZooOptions& options,
+    const std::vector<ModelId>& ids,
+    std::vector<std::pair<std::string, std::string>> provenance) {
+  ZooLoadOutcome outcome;
+  outcome.report = store::load_zoo(files, dir);
+  outcome.zoo.ids = ids;
+
+  for (const ModelId& id : ids) {
+    const std::string name = id.name();
+    const auto it = outcome.report.models.find(name);
+    if (it != outcome.report.models.end()) {
+      outcome.zoo.models.emplace(name, std::move(it->second));
+      continue;
+    }
+    // Quarantined, missing, absent from the manifest, or the bundle had
+    // no manifest at all: retrain exactly this identity. Training is
+    // deterministic, so the repaired entry is bit-identical to what an
+    // undamaged save would have produced.
+    outcome.zoo.models.emplace(name, train_one(dataset, id, options));
+    outcome.retrained.push_back(name);
+    retrained_counter().inc();
+  }
+  outcome.report.models.clear();  // ownership moved into the zoo
+
+  if (!outcome.retrained.empty()) {
+    COLOC_LOG_WARN << "zoo bundle " << dir << ": retrained "
+                   << outcome.retrained.size() << " of " << ids.size()
+                   << " models after verification failures";
+    save_trained_zoo(files, dir, outcome.zoo, std::move(provenance));
+    outcome.repaired = true;
+  }
+  return outcome;
+}
+
+}  // namespace coloc::core

@@ -2,7 +2,6 @@
 
 #include <cmath>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -11,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "obs/metrics.hpp"
+#include "store/file_ops.hpp"
 
 namespace coloc::fault {
 
@@ -106,31 +106,19 @@ void CampaignCheckpoint::flush() {
 }
 
 void CampaignCheckpoint::flush_locked() {
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc);
-    if (!os) {
-      throw coloc::runtime_error("cannot open checkpoint temp file " + tmp);
-    }
-    os << "tag," << csv_escape(target_name_);
-    for (const auto& name : feature_names_) os << ',' << csv_escape(name);
+  std::ostringstream os;
+  os << "tag," << csv_escape(target_name_);
+  for (const auto& name : feature_names_) os << ',' << csv_escape(name);
+  os << '\n';
+  for (const auto& [tag, row] : rows_) {
+    os << csv_escape(tag) << ',' << format_double(row.target);
+    for (double v : row.features) os << ',' << format_double(v);
     os << '\n';
-    for (const auto& [tag, row] : rows_) {
-      os << csv_escape(tag) << ',' << format_double(row.target);
-      for (double v : row.features) os << ',' << format_double(v);
-      os << '\n';
-    }
-    os.flush();
-    if (!os) {
-      throw coloc::runtime_error("failed writing checkpoint temp file " + tmp);
-    }
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_, ec);
-  if (ec) {
-    throw coloc::runtime_error("cannot rename " + tmp + " over " + path_ +
-                               ": " + ec.message());
-  }
+  // Durable atomic replace: the old rename-only path could publish a
+  // checkpoint whose data blocks were still unflushed, so a power cut
+  // after the rename left a committed name pointing at torn contents.
+  store::write_file_atomic(path_, os.str());
   dirty_ = 0;
   CheckpointMetrics::get().writes.inc();
 }

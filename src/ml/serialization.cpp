@@ -1,5 +1,6 @@
 #include "ml/serialization.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -23,6 +24,22 @@ void write_doubles(std::ostream& os, const char* key,
   os << "\n";
 }
 
+// Token + strtod instead of `is >> v`: stream extraction may set failbit
+// on subnormal magnitudes (the underlying strtod reports ERANGE even
+// though it returns the correctly rounded denormal), which would make a
+// legitimately saved model unloadable. strtod's return value is correct
+// in that case; only genuinely malformed tokens are rejected.
+double read_double_token(std::istream& is, const std::string& what) {
+  std::string token;
+  COLOC_CHECK_MSG(static_cast<bool>(is >> token),
+                  "truncated model stream reading " + what);
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  COLOC_CHECK_MSG(end != token.c_str() && *end == '\0',
+                  "model stream: cannot parse '" + token + "' as a double");
+  return v;
+}
+
 std::vector<double> read_doubles(std::istream& is, const std::string& key) {
   std::string actual_key;
   std::size_t count = 0;
@@ -32,9 +49,7 @@ std::vector<double> read_doubles(std::istream& is, const std::string& key) {
                   "model stream: expected key '" + key + "', got '" +
                       actual_key + "'");
   std::vector<double> values(count);
-  for (auto& v : values) {
-    COLOC_CHECK_MSG(static_cast<bool>(is >> v), "truncated value list");
-  }
+  for (auto& v : values) v = read_double_token(is, key);
   return values;
 }
 

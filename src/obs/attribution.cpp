@@ -398,6 +398,13 @@ std::string render_report(const BundleData& bundle) {
     os << "\n";
   }
 
+  if (!m.recovery.empty()) {
+    os << "\n== recovery ==\n";
+    for (const RecoveryRecord& r : m.recovery) {
+      os << "  " << r.counter << ": " << r.value << "\n";
+    }
+  }
+
   os << "\n== task attribution (histograms) ==\n";
   render_histogram_line(os, bundle, "pool_queue_wait_seconds",
                         "queue wait  ");
@@ -517,6 +524,28 @@ DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
     os << "\n";
   } else {
     os << "  (absent in one or both bundles)\n";
+  }
+
+  // Recovery counters are not gated, but a diff must make it obvious when
+  // one run detected corruption or replayed stages and the other did not.
+  if (!baseline.manifest.recovery.empty() ||
+      !current.manifest.recovery.empty()) {
+    os << "\n== recovery ==\n";
+    std::vector<std::string> counters;
+    for (const RecoveryRecord& r : baseline.manifest.recovery) {
+      counters.push_back(r.counter);
+    }
+    for (const RecoveryRecord& r : current.manifest.recovery) {
+      if (std::find(counters.begin(), counters.end(), r.counter) ==
+          counters.end()) {
+        counters.push_back(r.counter);
+      }
+    }
+    for (const std::string& counter : counters) {
+      os << "  " << counter << ": "
+         << baseline.manifest.recovery_value(counter) << " -> "
+         << current.manifest.recovery_value(counter) << "\n";
+    }
   }
 
   os << "\n== resources ==\n"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -74,7 +76,65 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
+/// Counters worth surfacing in the manifest itself: everything the
+/// crash-safety layers emit when they detect damage or recover from it.
+constexpr const char* kRecoveryCounters[] = {
+    "store_corruption_detected_total",
+    "storage_faults_injected_total",
+    "supervisor_stage_executed_total",
+    "supervisor_stage_skipped_total",
+    "supervisor_stage_replayed_total",
+    "supervisor_clean_stops_total",
+    "zoo_models_retrained_total",
+    "checkpoint_rows_loaded_total",
+};
+
+bool is_recovery_counter(const std::string& name) {
+  for (const char* candidate : kRecoveryCounters) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
+std::string rendered_counter_name(const MetricSample& s) {
+  if (s.labels.empty()) return s.name;
+  std::string out = s.name + "{";
+  bool first = true;
+  for (const auto& [k, v] : s.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=" + v;
+  }
+  out += '}';
+  return out;
+}
+
+std::mutex& extras_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, std::string>& extras_registry() {
+  static std::map<std::string, std::string> registry;
+  return registry;
+}
+
 }  // namespace
+
+void add_manifest_extra(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(extras_mutex());
+  extras_registry()[key] = value;
+}
+
+std::vector<std::pair<std::string, std::string>> manifest_extras() {
+  std::lock_guard<std::mutex> lock(extras_mutex());
+  return {extras_registry().begin(), extras_registry().end()};
+}
+
+void clear_manifest_extras() {
+  std::lock_guard<std::mutex> lock(extras_mutex());
+  extras_registry().clear();
+}
 
 Manifest Manifest::collect(const ManifestInfo& info,
                            const MetricsSnapshot& snapshot,
@@ -103,6 +163,25 @@ Manifest Manifest::collect(const ManifestInfo& info,
             [](const StageRecord& a, const StageRecord& b) {
               return a.stage < b.stage;
             });
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.kind != MetricKind::kCounter || !is_recovery_counter(s.name)) {
+      continue;
+    }
+    if (s.counter_value == 0) continue;  // quiet runs keep the section empty
+    m.recovery.push_back(
+        RecoveryRecord{rendered_counter_name(s), s.counter_value});
+  }
+  std::sort(m.recovery.begin(), m.recovery.end(),
+            [](const RecoveryRecord& a, const RecoveryRecord& b) {
+              return a.counter < b.counter;
+            });
+  // Fold in the process-global extras; explicit info.extra entries win.
+  for (const auto& [k, v] : manifest_extras()) {
+    const bool present = std::any_of(
+        m.info.extra.begin(), m.info.extra.end(),
+        [&k = k](const auto& kv) { return kv.first == k; });
+    if (!present) m.info.extra.emplace_back(k, v);
+  }
   m.metrics_digest = hex16(fnv1a64(coloc::obs::to_json(snapshot)));
   return m;
 }
@@ -136,6 +215,15 @@ std::string Manifest::to_json() const {
     first = false;
     os << "{\"stage\":\"" << json_escape(s.stage)
        << "\",\"wall_seconds\":" << format_double(s.wall_seconds) << '}';
+  }
+  os << "],";
+  os << "\"recovery\":[";
+  first = true;
+  for (const RecoveryRecord& r : recovery) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"counter\":\"" << json_escape(r.counter)
+       << "\",\"value\":" << r.value << '}';
   }
   os << "],";
   os << "\"metrics_digest\":\"" << metrics_digest << "\"}";
@@ -207,6 +295,22 @@ Manifest Manifest::from_json_file(const std::string& path) {
       m.stages.push_back(std::move(record));
     }
   }
+  if (const JsonValue* v = doc.find("recovery");
+      v != nullptr && v->is_array()) {
+    for (const JsonValue& r : v->array) {
+      if (!r.is_object()) continue;
+      RecoveryRecord record;
+      if (const JsonValue* name = r.find("counter");
+          name != nullptr && name->is_string()) {
+        record.counter = name->string;
+      }
+      if (const JsonValue* value = r.find("value");
+          value != nullptr && value->is_number()) {
+        record.value = static_cast<std::uint64_t>(value->number);
+      }
+      m.recovery.push_back(std::move(record));
+    }
+  }
   return m;
 }
 
@@ -215,6 +319,13 @@ double Manifest::stage_wall(const std::string& stage) const {
     if (s.stage == stage) return s.wall_seconds;
   }
   return -1.0;
+}
+
+std::uint64_t Manifest::recovery_value(const std::string& counter) const {
+  for (const RecoveryRecord& r : recovery) {
+    if (r.counter == counter) return r.value;
+  }
+  return 0;
 }
 
 }  // namespace coloc::obs

@@ -47,6 +47,28 @@ struct StageRecord {
   double wall_seconds = 0.0;
 };
 
+/// One recovery-relevant counter harvested into the manifest, e.g.
+/// store_corruption_detected_total{reason=digest}. Kept in the manifest
+/// (not just metrics.json) so an obs_report diff immediately shows when
+/// one run recovered from damage and the other did not.
+struct RecoveryRecord {
+  std::string counter;  // name{label=value,...} rendered form
+  std::uint64_t value = 0;
+};
+
+/// Registers a process-global extra key/value recorded into every
+/// subsequently collected manifest (deduplicated by key, last write
+/// wins). Lets deep layers (store, supervisor) annotate the run manifest
+/// — e.g. the zoo bundle digest or the storage fault seed — without
+/// threading the ManifestInfo through every call chain.
+void add_manifest_extra(const std::string& key, const std::string& value);
+
+/// Snapshot of the registered extras, sorted by key (mainly for tests).
+std::vector<std::pair<std::string, std::string>> manifest_extras();
+
+/// Clears the registered extras (tests).
+void clear_manifest_extras();
+
 struct Manifest {
   ManifestInfo info;
   // Build identity, compiled into the obs library by CMake.
@@ -59,6 +81,10 @@ struct Manifest {
   double cpu_seconds = -1.0;
   long peak_rss_kb = -1;
   std::vector<StageRecord> stages;  // sorted by stage name
+  /// Recovery counters (corruption detected, stages replayed, models
+  /// retrained, faults injected), sorted by rendered name; empty when the
+  /// run saw no recovery activity.
+  std::vector<RecoveryRecord> recovery;
   /// fnv1a64 of to_json(snapshot) rendered as 16 hex digits.
   std::string metrics_digest;
 
@@ -79,6 +105,9 @@ struct Manifest {
 
   /// Wall seconds of one stage; -1 when the stage was not recorded.
   double stage_wall(const std::string& stage) const;
+
+  /// Value of one recovery counter (rendered name); 0 when not recorded.
+  std::uint64_t recovery_value(const std::string& counter) const;
 };
 
 }  // namespace coloc::obs

@@ -1,0 +1,24 @@
+#include "store/digest.hpp"
+
+#include <cstdio>
+
+#include "obs/manifest.hpp"
+
+namespace coloc::store {
+
+std::uint64_t digest64(std::string_view data) {
+  return obs::fnv1a64(data);
+}
+
+std::string to_hex16(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::string digest_hex(std::string_view data) {
+  return to_hex16(digest64(data));
+}
+
+}  // namespace coloc::store

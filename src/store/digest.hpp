@@ -1,0 +1,26 @@
+// Content digests for stored artifacts.
+//
+// Every bundle entry and every journaled stage artifact carries an FNV-1a
+// 64-bit digest rendered as 16 lowercase hex digits. FNV-1a is not
+// cryptographic — it defends against torn writes, truncation, and bit rot,
+// not adversaries — and any single-byte change flips the digest, which is
+// exactly the failure model the crash/recovery machinery targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace coloc::store {
+
+/// FNV-1a 64-bit over `data` (same function as obs::fnv1a64; re-exported
+/// here so store callers do not reach into the observability layer).
+std::uint64_t digest64(std::string_view data);
+
+/// digest64 rendered as 16 lowercase hex digits.
+std::string digest_hex(std::string_view data);
+
+/// Renders any 64-bit value as 16 lowercase hex digits.
+std::string to_hex16(std::uint64_t value);
+
+}  // namespace coloc::store

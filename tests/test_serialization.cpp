@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -116,6 +118,73 @@ TEST(Serialization, FileRoundTrip) {
 TEST(Serialization, MissingFileThrows) {
   EXPECT_THROW(load_model_file("/nonexistent/model.txt"),
                coloc::runtime_error);
+}
+
+// --- hostile doubles ------------------------------------------------------
+// The on-disk format carries every coefficient as text; values at the edge
+// of the double range (subnormals especially) historically broke stream
+// extraction because strtod reports ERANGE for them even though it returns
+// the correctly rounded value.
+
+std::vector<double> hostile_values() {
+  return {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),        // 4.94e-324
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),               // 2.23e-308
+      std::numeric_limits<double>::min() / 2.0,         // subnormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::lowest(),
+      1.0 + std::numeric_limits<double>::epsilon(),
+      0.1,  // classic non-representable decimal
+  };
+}
+
+bool bit_identical(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+TEST(Serialization, HostileDoublesRoundTripBitExact) {
+  const std::vector<double> coefficients = hostile_values();
+  const LinearModel original = LinearModel::from_params(
+      coefficients, -std::numeric_limits<double>::denorm_min());
+  std::stringstream ss;
+  save_model(ss, original);
+  const RegressorPtr loaded = load_model(ss);
+  const auto* linear = dynamic_cast<const LinearModel*>(loaded.get());
+  ASSERT_NE(linear, nullptr);
+  ASSERT_EQ(linear->coefficients().size(), coefficients.size());
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    EXPECT_TRUE(bit_identical(linear->coefficients()[i], coefficients[i]))
+        << "coefficient " << i << " = " << coefficients[i];
+  }
+  EXPECT_TRUE(bit_identical(linear->intercept(), original.intercept()));
+}
+
+TEST(Serialization, SecondSaveIsByteIdentical) {
+  const LinearModel original =
+      LinearModel::from_params(hostile_values(), 0.25);
+  std::stringstream first;
+  save_model(first, original);
+  std::stringstream copy(first.str());
+  const RegressorPtr loaded = load_model(copy);
+  std::stringstream second;
+  save_model(second, *loaded);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(Serialization, MalformedDoubleTokenRejected) {
+  std::stringstream ss;
+  ss << "coloc-model v1\ntype linear\ncoefficients 2 1.5 banana\n"
+        "intercept 1 0\nend\n";
+  EXPECT_THROW(load_model(ss), coloc::runtime_error);
+}
+
+TEST(Serialization, TruncatedCoefficientListRejected) {
+  std::stringstream ss;
+  ss << "coloc-model v1\ntype linear\ncoefficients 5 1.0 2.0\n";
+  EXPECT_THROW(load_model(ss), coloc::runtime_error);
 }
 
 }  // namespace
