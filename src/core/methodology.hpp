@@ -72,6 +72,12 @@ class ColocationPredictor {
 
   const ModelId& id() const { return id_; }
 
+  /// The trained model and its dataset-column selection — exposed so the
+  /// placement service (src/serve) can assemble batched design matrices
+  /// and call the model's allocation-free predict_into directly.
+  const ml::Regressor& model() const { return *model_; }
+  const std::vector<std::size_t>& columns() const { return columns_; }
+
   /// Persists the trained predictor (model + feature-set identity) so a
   /// resource manager can train once and predict across restarts.
   void save(std::ostream& os) const;

@@ -35,6 +35,16 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes in place. Element values are unspecified afterwards (new
+  /// cells are zero, surviving cells keep whatever landed there); the
+  /// backing vector's capacity is retained, so hot paths that assemble a
+  /// batch per call reuse their allocation once warmed up.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }

@@ -99,6 +99,15 @@ double LinearModel::predict(std::span<const double> features) const {
   return y;
 }
 
+void LinearModel::predict_into(const linalg::Matrix& x,
+                               std::span<double> out) const {
+  COLOC_CHECK_MSG(x.cols() == coef_.size(),
+                  "feature width mismatch in LinearModel::predict_into");
+  COLOC_CHECK_MSG(out.size() == x.rows(),
+                  "output span size mismatch in LinearModel::predict_into");
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
+}
+
 std::string LinearModel::describe() const {
   std::ostringstream os;
   os << "LinearModel(n=" << coef_.size() << ", intercept=" << intercept_

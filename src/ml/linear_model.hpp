@@ -28,6 +28,11 @@ class LinearModel final : public Regressor {
                          const LinearModelOptions& options = {});
 
   double predict(std::span<const double> features) const override;
+  /// Row-wise dot products straight into the caller's buffer — the linear
+  /// family's predictions never needed heap space, so the batched serving
+  /// path gets the allocation-free guarantee here too.
+  void predict_into(const linalg::Matrix& x,
+                    std::span<double> out) const override;
   std::string describe() const override;
 
   /// Raw-unit coefficients (one per feature) and the constant term.

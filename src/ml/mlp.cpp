@@ -378,14 +378,24 @@ double MlpRegressor::predict(std::span<const double> features) const {
 }
 
 std::vector<double> MlpRegressor::predict_all(const linalg::Matrix& x) const {
-  COLOC_CHECK_MSG(x.cols() == net_.num_inputs(),
-                  "feature width mismatch in MlpRegressor::predict_all");
-  linalg::Matrix design = x;
-  scaler_.transform(design);  // standardize the whole design matrix once
   std::vector<double> out(x.rows());
+  predict_into(x, out);
+  return out;
+}
+
+void MlpRegressor::predict_into(const linalg::Matrix& x,
+                                std::span<double> out) const {
+  COLOC_CHECK_MSG(x.cols() == net_.num_inputs(),
+                  "feature width mismatch in MlpRegressor::predict_into");
+  COLOC_CHECK_MSG(out.size() == x.rows(),
+                  "output span size mismatch in MlpRegressor::predict_into");
+  // Standardize into thread-local scratch: the copy-assign reuses the
+  // scratch matrix's capacity, so steady-state batches allocate nothing.
+  thread_local linalg::Matrix design;
+  design = x;
+  scaler_.transform(design);  // standardize the whole design matrix once
   net_.forward_all(design, out);
   for (double& v : out) v = target_.inverse(v);
-  return out;
 }
 
 std::string MlpRegressor::describe() const {

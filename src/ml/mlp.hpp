@@ -105,6 +105,11 @@ class MlpRegressor final : public Regressor {
   /// GEMM forward pass, instead of re-standardizing row by row. Returns
   /// exactly what the per-row predict loop would.
   std::vector<double> predict_all(const linalg::Matrix& x) const override;
+  /// Allocation-free batched inference (after per-thread warm-up): the
+  /// standardized design copy lives in reusable thread-local scratch and
+  /// predictions land in the caller's buffer. Same numbers as predict_all.
+  void predict_into(const linalg::Matrix& x,
+                    std::span<double> out) const override;
   std::string describe() const override;
 
   /// Final training loss (standardized units) — exposed for diagnostics.

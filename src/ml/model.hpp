@@ -1,6 +1,7 @@
 // Common interface for the paper's two model families (Section III).
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <string>
@@ -26,6 +27,17 @@ class Regressor {
     std::vector<double> out(x.rows());
     for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict(x.row(r));
     return out;
+  }
+
+  /// Predicts every row of `x` into a caller-owned buffer (`out` must have
+  /// exactly x.rows() entries) so hot serving/validation loops can reuse one
+  /// allocation across calls. The default forwards to predict_all;
+  /// implementations on a hot path override it allocation-free. Overrides
+  /// must write exactly what predict_all returns.
+  virtual void predict_into(const linalg::Matrix& x,
+                            std::span<double> out) const {
+    const std::vector<double> all = predict_all(x);
+    std::copy(all.begin(), all.end(), out.begin());
   }
 
   virtual std::string describe() const = 0;

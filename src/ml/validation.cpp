@@ -187,8 +187,15 @@ std::vector<ValidationResult> repeated_subsampling_validation_batch(
     const RegressorPtr model = state.job->factory(x_train, y_train);
     COLOC_CHECK_MSG(model != nullptr, "model factory returned null");
 
-    const std::vector<double> pred_train = model->predict_all(x_train);
-    const std::vector<double> pred_test = model->predict_all(x_test);
+    // Thread-local prediction buffers: one allocation per worker per batch
+    // shape instead of two fresh vectors per partition (predict_into is the
+    // allocation-free path; numbers match predict_all exactly).
+    thread_local std::vector<double> pred_train;
+    thread_local std::vector<double> pred_test;
+    pred_train.resize(x_train.rows());
+    pred_test.resize(x_test.rows());
+    model->predict_into(x_train, pred_train);
+    model->predict_into(x_test, pred_test);
 
     state.train_mpe[ref.partition] = mean_percent_error(pred_train, y_train);
     state.test_mpe[ref.partition] = mean_percent_error(pred_test, y_test);

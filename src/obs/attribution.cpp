@@ -466,7 +466,8 @@ DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
      << "  current:  " << current.manifest.info.program << " @ "
      << current.manifest.git_describe << " (" << current.dir << ")\n"
      << "  thresholds: stage wall +" << thresholds.stage_wall_pct
-     << "%, queue-wait p99 +" << thresholds.queue_wait_p99_pct << "%\n";
+     << "%, queue-wait p99 +" << thresholds.queue_wait_p99_pct
+     << "%, predict p99 +" << thresholds.predict_p99_pct << "%\n";
 
   if (baseline.manifest.metrics_digest == current.manifest.metrics_digest &&
       !baseline.manifest.metrics_digest.empty()) {
@@ -524,6 +525,27 @@ DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
     os << "\n";
   } else {
     os << "  (absent in one or both bundles)\n";
+  }
+
+  // Placement-service query latency is gated only when both bundles carry
+  // the metric, so non-placement benches keep diffing unchanged.
+  const MetricEntry* pa = baseline.metrics.find("placement_predict_seconds");
+  const MetricEntry* pb = current.metrics.find("placement_predict_seconds");
+  if (pa != nullptr && pb != nullptr && pa->histogram.count > 0 &&
+      pb->histogram.count > 0) {
+    os << "\n== placement predict p99 ==\n";
+    const double a = pa->histogram.quantile(0.99);
+    const double b = pb->histogram.quantile(0.99);
+    const double pct = pct_change(a, b);
+    os << "  placement_predict_seconds p99: " << format_seconds(a) << " -> "
+       << format_seconds(b) << " (" << format_pct(pct) << ")";
+    if (trips(pct, thresholds.predict_p99_pct)) {
+      os << "  REGRESSION";
+      result.regressions.push_back(
+          "placement_predict_seconds p99 " + format_pct(pct) +
+          " (threshold " + format_pct(thresholds.predict_p99_pct) + ")");
+    }
+    os << "\n";
   }
 
   // Recovery counters are not gated, but a diff must make it obvious when

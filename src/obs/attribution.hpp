@@ -151,6 +151,9 @@ struct DiffThresholds {
   /// Regression when pool_queue_wait_seconds p99 grows by at least this
   /// percent (bucket-quantized: log-2 buckets resolve ~doublings).
   double queue_wait_p99_pct = 25.0;
+  /// Regression when placement_predict_seconds p99 grows by at least this
+  /// percent — the placement service's query-latency SLO gate.
+  double predict_p99_pct = 25.0;
 };
 
 struct DiffResult {

@@ -16,8 +16,32 @@ std::string to_string(PlacementPolicy policy) {
     case PlacementPolicy::kFirstFit: return "first-fit";
     case PlacementPolicy::kLeastLoaded: return "least-loaded";
     case PlacementPolicy::kInterferenceAware: return "interference-aware";
+    case PlacementPolicy::kDvfsAware: return "dvfs-aware";
   }
   return "?";
+}
+
+const std::vector<PlacementPolicy>& all_placement_policies() {
+  static const std::vector<PlacementPolicy> kAll = {
+      PlacementPolicy::kFirstFit,
+      PlacementPolicy::kLeastLoaded,
+      PlacementPolicy::kInterferenceAware,
+      PlacementPolicy::kDvfsAware,
+  };
+  return kAll;
+}
+
+PlacementPolicy parse_placement_policy(const std::string& token) {
+  for (PlacementPolicy policy : all_placement_policies()) {
+    if (token == to_string(policy)) return policy;
+  }
+  std::string accepted;
+  for (PlacementPolicy policy : all_placement_policies()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += to_string(policy);
+  }
+  throw coloc::invalid_argument_error("unknown placement policy: '" + token +
+                                      "' (accepted: " + accepted + ")");
 }
 
 ClusterSimulator::ClusterSimulator(ClusterConfig config,
@@ -85,6 +109,7 @@ std::size_t ClusterSimulator::pick_node(const std::vector<Node>& nodes,
       }
       return best;
     }
+    case PlacementPolicy::kDvfsAware:  // placement leg only (fixed P-state)
     case PlacementPolicy::kInterferenceAware: {
       COLOC_CHECK_MSG(predictor_ != nullptr && baselines_ != nullptr,
                       "interference-aware placement needs a predictor and "

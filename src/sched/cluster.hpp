@@ -29,8 +29,26 @@
 
 namespace coloc::sched {
 
-enum class PlacementPolicy { kFirstFit, kLeastLoaded, kInterferenceAware };
+/// kDvfsAware places like kInterferenceAware and additionally re-picks the
+/// chosen node's P-state per arrival via sched::choose_pstate_for_deadline;
+/// the DVFS leg is honored by serve::EventSimulator (per-node P-states) —
+/// the fixed-P-state ClusterSimulator below treats it as placement-only.
+enum class PlacementPolicy {
+  kFirstFit,
+  kLeastLoaded,
+  kInterferenceAware,
+  kDvfsAware,
+};
 std::string to_string(PlacementPolicy policy);
+
+/// Parses a to_string(PlacementPolicy) token ("first-fit", "least-loaded",
+/// "interference-aware", "dvfs-aware"). Throws invalid_argument_error
+/// naming the offending token and listing every accepted value, so CLI
+/// layers can reject --policy typos with an actionable message.
+PlacementPolicy parse_placement_policy(const std::string& token);
+
+/// All policies, in enum order (CLI "all" sweeps, test loops).
+const std::vector<PlacementPolicy>& all_placement_policies();
 
 /// One job submitted to the cluster.
 struct ClusterJob {

@@ -1,0 +1,50 @@
+// Shared fixture for the placement-service harnesses (tools/placement_sim
+// and bench/bench_placement): a small, fast fleet-node machine, a six-app
+// catalog spanning the paper's memory-intensity classes, and the one-call
+// pipeline that turns them into a deployable nn-F predictor — trained from
+// a quick Table V campaign, or reloaded from (and repaired into) a
+// crash-safe zoo bundle so repeat invocations warm-start.
+//
+// The configuration is deliberately small (4 cores, 3 P-states, ~10^2
+// campaign cells) so the interesting cost is the million-arrival replay,
+// not model training.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/methodology.hpp"
+#include "sim/app_model.hpp"
+#include "sim/machine.hpp"
+
+namespace coloc::serve::demo {
+
+/// 4-core node with a 2 MB LLC and 3 P-states — one fleet machine.
+sim::MachineConfig fleet_node();
+
+/// Six applications spread hungry-to-quiet (two per extreme class, two in
+/// the middle), instruction counts staggered so completions interleave.
+std::vector<sim::ApplicationSpec> catalog();
+
+/// The quick campaign over the catalog: all six targets against three
+/// class-representative co-runners at every count and P-state.
+core::CampaignConfig campaign_config(std::size_t jobs);
+
+struct DemoPipeline {
+  core::CampaignResult campaign;    // dataset + baseline library
+  core::ColocationPredictor predictor;  // deployable nn-F
+};
+
+/// Profiles the catalog into `library`, runs the quick campaign, and
+/// returns a deployable nn-F predictor. With a non-empty `zoo_dir` the
+/// predictor is reloaded from that bundle via core::load_or_repair_zoo
+/// (created/repaired on disk when absent or damaged — retraining is
+/// deterministic, so the reloaded bytes match a fresh training run).
+DemoPipeline build_pipeline(sim::AppMrcLibrary& library,
+                            const sim::MachineConfig& machine,
+                            const std::string& zoo_dir, std::size_t jobs,
+                            std::size_t nn_iterations = 400);
+
+}  // namespace coloc::serve::demo

@@ -132,6 +132,48 @@ TEST_F(DvfsPolicyTest, EnergyReportedPositive) {
   EXPECT_GT(d.predicted_energy_j, 0.0);
 }
 
+TEST_F(DvfsPolicyTest, DeadlineExactlyAtPredictedTimeIsFeasible) {
+  // The feasibility comparison is <=, so a deadline equal to the fastest
+  // state's predicted time must still yield a feasible decision whose
+  // prediction meets the deadline exactly.
+  const core::BaselineProfile& target = campaign_->baselines.at("medium");
+  const double p0_time = predictor_->predict_time(target, {}, 0);
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, p0_time);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_LE(d.predicted_time_s, p0_time);
+}
+
+TEST_F(DvfsPolicyTest, EmptyCoRunnerSetMatchesSoloPrediction) {
+  // With no co-runners the decision's predicted time must be exactly the
+  // predictor's solo prediction at the chosen state — no phantom
+  // interference terms.
+  const core::BaselineProfile& target = campaign_->baselines.at("light");
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, {}, /*deadline=*/1e9);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_EQ(d.predicted_time_s,
+            predictor_->predict_time(target, {}, d.pstate_index));
+}
+
+TEST_F(DvfsPolicyTest, InfeasibleEverywhereFallsBackToP0Predictions) {
+  // When no state can meet the deadline the documented fallback is P0
+  // (run as fast as possible); the reported prediction and energy must be
+  // P0's, not a stale candidate's.
+  const core::BaselineProfile& target = campaign_->baselines.at("hog");
+  const core::BaselineProfile& co = campaign_->baselines.at("hog");
+  const std::vector<const core::BaselineProfile*> coapps(3, &co);
+  const DvfsDecision d = choose_pstate_for_deadline(
+      tiny_machine(), *predictor_, target, coapps, /*deadline=*/1e-6);
+  EXPECT_FALSE(d.feasible);
+  EXPECT_EQ(d.pstate_index, 0u);
+  const double p0_time = predictor_->predict_time(target, coapps, 0);
+  EXPECT_EQ(d.predicted_time_s, p0_time);
+  EXPECT_EQ(d.predicted_energy_j,
+            energy_j(tiny_machine(), 0, coapps.size() + 1, p0_time) /
+                static_cast<double>(coapps.size() + 1));
+}
+
 TEST_F(DvfsPolicyTest, InvalidInputsRejected) {
   const core::BaselineProfile& target = campaign_->baselines.at("quiet");
   EXPECT_THROW(choose_pstate_for_deadline(tiny_machine(), *predictor_,

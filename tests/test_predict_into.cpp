@@ -1,0 +1,113 @@
+// Equivalence tests for Regressor::predict_into — the allocation-free
+// batched inference entry the placement service and validation loops sit
+// on. Every override must write exactly what predict_all returns, and the
+// base-class default (exercised through KnnRegressor, which does not
+// override it) must forward faithfully.
+#include "ml/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear_model.hpp"
+#include "ml/mlp.hpp"
+
+namespace coloc::ml {
+namespace {
+
+linalg::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+std::vector<double> linear_targets(const linalg::Matrix& x, Rng& rng) {
+  std::vector<double> y(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    y[i] = 2.0 * x(i, 0) - 0.5 * x(i, x.cols() - 1) + rng.normal(0, 0.05);
+  }
+  return y;
+}
+
+/// predict_into must be bit-identical to predict_all AND to the per-row
+/// predict loop across a few batch shapes (including a single row).
+void expect_batched_paths_agree(const Regressor& model, std::size_t cols,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{64}, std::size_t{129}}) {
+    const linalg::Matrix x = random_matrix(rows, cols, rng);
+    const std::vector<double> all = model.predict_all(x);
+    std::vector<double> into(rows, -1.0);
+    model.predict_into(x, into);
+    ASSERT_EQ(all.size(), rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ASSERT_EQ(into[r], all[r]) << "rows=" << rows << " r=" << r;
+      ASSERT_EQ(model.predict(x.row(r)), all[r])
+          << "rows=" << rows << " r=" << r;
+    }
+  }
+}
+
+TEST(PredictIntoTest, MlpOverrideMatchesRowwisePredict) {
+  Rng rng(11);
+  const linalg::Matrix x = random_matrix(80, 5, rng);
+  const std::vector<double> y = linear_targets(x, rng);
+  MlpOptions options;
+  options.hidden_units = 8;
+  options.max_iterations = 150;
+  const MlpRegressor model = MlpRegressor::fit(x, y, options);
+  expect_batched_paths_agree(model, 5, 21);
+}
+
+TEST(PredictIntoTest, LinearOverrideMatchesRowwisePredict) {
+  Rng rng(12);
+  const linalg::Matrix x = random_matrix(60, 4, rng);
+  const std::vector<double> y = linear_targets(x, rng);
+  const LinearModel model = LinearModel::fit(x, y);
+  expect_batched_paths_agree(model, 4, 22);
+}
+
+TEST(PredictIntoTest, BaseDefaultForwardsThroughPredictAll) {
+  // KnnRegressor inherits both batched entries from the base class; this
+  // pins the default predict_into -> predict_all -> predict chain.
+  Rng rng(13);
+  const linalg::Matrix x = random_matrix(50, 3, rng);
+  const std::vector<double> y = linear_targets(x, rng);
+  const KnnRegressor model = KnnRegressor::fit(x, y);
+  expect_batched_paths_agree(model, 3, 23);
+}
+
+TEST(PredictIntoTest, RepeatedCallsReuseBufferWithoutDrift) {
+  // The MLP override keeps thread-local scratch; growing then shrinking
+  // the batch must not leave stale rows behind.
+  Rng rng(14);
+  const linalg::Matrix x = random_matrix(40, 5, rng);
+  const std::vector<double> y = linear_targets(x, rng);
+  MlpOptions options;
+  options.hidden_units = 6;
+  options.max_iterations = 100;
+  const MlpRegressor model = MlpRegressor::fit(x, y, options);
+
+  const linalg::Matrix big = random_matrix(96, 5, rng);
+  const linalg::Matrix small = random_matrix(3, 5, rng);
+  std::vector<double> big_out(96), small_out(3);
+  model.predict_into(big, big_out);
+  model.predict_into(small, small_out);
+  const std::vector<double> small_ref = model.predict_all(small);
+  for (std::size_t r = 0; r < 3; ++r) {
+    ASSERT_EQ(small_out[r], small_ref[r]) << r;
+  }
+  // And the big batch again, after the shrink.
+  std::vector<double> big_again(96);
+  model.predict_into(big, big_again);
+  for (std::size_t r = 0; r < 96; ++r) {
+    ASSERT_EQ(big_again[r], big_out[r]) << r;
+  }
+}
+
+}  // namespace
+}  // namespace coloc::ml

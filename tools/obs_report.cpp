@@ -15,6 +15,9 @@
 // Flags:
 //   --stage-wall-pct=N       stage wall regression threshold (default 10)
 //   --queue-wait-p99-pct=N   queue-wait p99 threshold (default 25)
+//   --predict-p99-pct=N      placement predict-latency p99 threshold
+//                            (default 25; gated only when both bundles
+//                            carry placement_predict_seconds)
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -29,7 +32,7 @@ int usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s [--gate] [--stage-wall-pct=N] [--queue-wait-p99-pct=N] "
-      "BUNDLE_DIR [BASELINE_IS_FIRST_CURRENT_DIR]\n"
+      "[--predict-p99-pct=N] BUNDLE_DIR [BASELINE_IS_FIRST_CURRENT_DIR]\n"
       "  one bundle dir: attribution report\n"
       "  two bundle dirs: baseline-vs-current diff (exit 2 on regression)\n",
       program);
@@ -64,6 +67,8 @@ int main(int argc, char** argv) {
         args.get_double("stage-wall-pct", thresholds.stage_wall_pct);
     thresholds.queue_wait_p99_pct = args.get_double(
         "queue-wait-p99-pct", thresholds.queue_wait_p99_pct);
+    thresholds.predict_p99_pct =
+        args.get_double("predict-p99-pct", thresholds.predict_p99_pct);
 
     const obs::BundleData baseline = obs::BundleData::load(bundles[0]);
     const obs::BundleData current = obs::BundleData::load(bundles[1]);
