@@ -1,5 +1,6 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
@@ -39,6 +40,10 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
   config.resume = args.get_bool("resume", false);
   config.zoo_out = args.get("zoo-out", "");
   config.zoo_in = args.get("zoo-in", "");
+  config.sweep_scale = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, args.get_int("sweep-scale",
+                      static_cast<std::int64_t>(config.sweep_scale))));
+  config.jobs_sweep = args.get("jobs-sweep", "");
   if (!args.program().empty()) {
     const std::string& program = args.program();
     const auto slash = program.find_last_of('/');

@@ -6,6 +6,12 @@
 // loss/gradient, per-call-allocating predict, serial restarts) driven
 // through the same repeated_subsampling_validation protocol.
 //
+// Stage 1 additionally races the batched trace->profile kernel path (PR 9:
+// TraceGenerator::next_batch + the marker-bitmap StackDistanceProfiler)
+// against an in-file replica of the pre-optimization implementation
+// (Fenwick tree + std::unordered_map last-access table, one reference at a
+// time) and reports the kernel speedup.
+//
 // Writes a machine-readable BENCH_pipeline.json (override with --out=FILE)
 // recording the stage timings, the validation speedup, and a set of
 // numerical-equivalence gates. The exit status reflects ONLY the
@@ -14,11 +20,19 @@
 //   gate matmul_vs_naive          tiled GEMM == reference i-k-j loop
 //   gate batched_loss_vs_reference batched loss/grad == rowwise oracle
 //   gate fast_vs_legacy_mpe/nrmse  validation metrics match the replica
+//   gate trace_batch_bit_identical next_batch() == per-reference next()
+//   gate trace_profile_bit_identical batched profiler == Fenwick replica
+//   gate cache_batch_bit_identical access_batch() == per-access walk
 //   gate solve_cache_bit_identical cached contention solve == cold solve
 //   gate campaign_parallel_bit_identical  parallel campaign == serial sweep
 //   gate zoo_parallel_bit_identical       parallel 12-model zoo == serial
 //   gate zoo_warm_start_bit_identical     zoo reloaded from the store
 //                                         bundle == freshly trained zoo
+//
+// Scale knobs: --sweep-scale=N clones every campaign target N-fold, pushing
+// the sweep to 10-100x the paper's cell count; --jobs-sweep=1,2,4,8 re-runs
+// the (scaled) campaign at each jobs value and emits a "jobs_scaling" curve
+// in the JSON, each run gated bit-identical against the serial dataset.
 //
 // The warm-start arm times training the full 12-model zoo cold against
 // saving it to a checksummed store bundle (--zoo-out, default
@@ -33,14 +47,18 @@
 //
 // Run the headline number (Release build):
 //   ./build/bench/bench_perf_pipeline --partitions=100 --jobs=0
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -56,6 +74,7 @@
 #include "obs/attribution.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/cache.hpp"
 #include "sim/stack_distance.hpp"
 #include "sim/trace.hpp"
 
@@ -225,6 +244,78 @@ class LegacyMlp final : public ml::Regressor {
   ml::TargetScaler target_;
 };
 
+// ---------------------------------------------------------------------------
+// Pre-PR-9 stack-distance profiler replica: a Fenwick (binary indexed) tree
+// of reuse markers queried with ~log(n) random probes per reference, plus a
+// std::unordered_map last-access table. This is the seed implementation the
+// marker-bitmap profiler replaced; it lives here (not in src/) so the
+// library carries exactly one profiler, and exists to give the kernel
+// speedup an honest baseline and the equivalence gate an oracle.
+// ---------------------------------------------------------------------------
+
+class LegacyStackProfiler {
+ public:
+  explicit LegacyStackProfiler(std::size_t max_references)
+      : tree_(max_references) {
+    last_access_.reserve(1 << 16);
+  }
+
+  std::uint64_t record(sim::LineAddress line) {
+    const std::size_t now = static_cast<std::size_t>(time_);
+    std::uint64_t distance = sim::kColdMiss;
+    auto it = last_access_.find(line);
+    if (it != last_access_.end()) {
+      const std::size_t prev = it->second;
+      distance = static_cast<std::uint64_t>(
+          now > prev + 1 ? tree_.range_sum(prev + 1, now - 1) : 0);
+      tree_.add(prev, -1);  // the line's marker moves to `now`
+      it->second = now;
+    } else {
+      ++cold_;
+      last_access_.emplace(line, now);
+    }
+    tree_.add(now, +1);
+    ++time_;
+    if (distance != sim::kColdMiss) {
+      if (distance < max_tracked_) {
+        if (distance >= histogram_.size()) histogram_.resize(distance + 1, 0);
+        ++histogram_[distance];
+      } else {
+        ++beyond_;
+      }
+    }
+    return distance;
+  }
+
+  std::uint64_t cold_misses() const { return cold_; }
+  std::uint64_t beyond_tracked() const { return beyond_; }
+  const std::vector<std::uint64_t>& histogram() const { return histogram_; }
+
+ private:
+  sim::FenwickTree tree_;
+  std::unordered_map<sim::LineAddress, std::size_t> last_access_;
+  std::vector<std::uint64_t> histogram_;
+  std::size_t max_tracked_ = 1 << 22;
+  std::uint64_t time_ = 0;
+  std::uint64_t cold_ = 0;
+  std::uint64_t beyond_ = 0;
+};
+
+/// Parses "1,2,4,8" into jobs values; ignores empty/invalid tokens.
+std::vector<std::size_t> parse_jobs_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    char* end = nullptr;
+    const long v = std::strtol(token.c_str(), &end, 10);
+    if (end != token.c_str() && *end == '\0' && v > 0) {
+      out.push_back(static_cast<std::size_t>(v));
+    }
+  }
+  return out;
+}
+
 linalg::Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
   linalg::Matrix m(rows, cols);
   for (double& v : m.data()) v = rng.uniform(-2.0, 2.0);
@@ -240,6 +331,23 @@ double max_abs_diff(std::span<const double> a, std::span<const double> b) {
 
 bool bitwise_equal(double a, double b) {
   return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+/// Row-for-row, bit-for-bit dataset comparison (targets, tags, features).
+bool datasets_bit_identical(const ml::Dataset& a, const ml::Dataset& b) {
+  if (a.num_rows() != b.num_rows()) return false;
+  for (std::size_t r = 0; r < a.num_rows(); ++r) {
+    if (!bitwise_equal(a.target(r), b.target(r)) || a.tag(r) != b.tag(r)) {
+      return false;
+    }
+    const auto fa = a.features(r);
+    const auto fb = b.features(r);
+    if (fa.size() != fb.size()) return false;
+    for (std::size_t c = 0; c < fa.size(); ++c) {
+      if (!bitwise_equal(fa[c], fb[c])) return false;
+    }
+  }
+  return true;
 }
 
 void json_gate(std::ofstream& os, const Gate& g, bool last) {
@@ -437,17 +545,112 @@ int main(int argc, char** argv) {
     local_sink->install();
   }
 
-  // --- Stage 1: trace profiling (stack-distance pass over one app trace).
+  // --- Stage 1: trace profiling (stack-distance pass over one app trace),
+  // batched kernel vs the pre-PR Fenwick replica, with bit-identity gates.
   const sim::ApplicationSpec canneal = sim::find_application("canneal");
   const std::size_t trace_len = config.quick ? 200'000 : 2'000'000;
   sim::TraceGenerator generator(canneal.trace, config.seed);
-  const std::vector<sim::LineAddress> trace = generator.generate(trace_len);
   auto t0 = std::chrono::steady_clock::now();
-  const sim::StackDistanceProfiler profiler = sim::profile_trace(trace);
-  const double profile_s = seconds_since(t0);
-  std::printf("trace profiling      : %8.3f s  (%zu refs, %llu cold)\n",
+  const std::vector<sim::LineAddress> trace = generator.generate(trace_len);
+  const double generate_s = seconds_since(t0);
+
+  // next_batch() must replay the per-reference next() stream exactly.
+  bool trace_batch_identical = true;
+  {
+    sim::TraceGenerator scalar_gen(canneal.trace, config.seed);
+    for (std::size_t i = 0; i < trace.size() && trace_batch_identical; ++i) {
+      trace_batch_identical = scalar_gen.next() == trace[i];
+    }
+  }
+
+  // Min-of-3 on both arms: sub-second single-shot walls swing the ratio
+  // by tens of percent on a shared host.
+  double profile_s = 0.0;
+  std::optional<sim::StackDistanceProfiler> profiler_opt;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    sim::StackDistanceProfiler run = sim::profile_trace(trace);
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < profile_s) profile_s = wall;
+    if (rep == 0) profiler_opt.emplace(std::move(run));
+  }
+  const sim::StackDistanceProfiler& profiler = *profiler_opt;
+
+  double legacy_profile_s = 0.0;
+  std::uint64_t legacy_cold = 0, legacy_beyond = 0;
+  std::vector<std::uint64_t> legacy_histogram;
+  for (int rep = 0; rep < 3; ++rep) {
+    t0 = std::chrono::steady_clock::now();
+    LegacyStackProfiler legacy_run(trace.size());
+    for (const sim::LineAddress a : trace) legacy_run.record(a);
+    const double wall = seconds_since(t0);
+    if (rep == 0 || wall < legacy_profile_s) legacy_profile_s = wall;
+    if (rep == 0) {
+      legacy_cold = legacy_run.cold_misses();
+      legacy_beyond = legacy_run.beyond_tracked();
+      legacy_histogram = legacy_run.histogram();
+    }
+  }
+
+  const bool profile_identical = profiler.cold_misses() == legacy_cold &&
+                                 profiler.beyond_tracked() == legacy_beyond &&
+                                 profiler.histogram() == legacy_histogram;
+  const double kernel_speedup =
+      profile_s > 0.0 ? legacy_profile_s / profile_s : 0.0;
+  std::printf("trace profiling      : %8.3f s  (%zu refs, %llu cold; "
+              "gen %.3f s)\n",
               profile_s, trace.size(),
-              static_cast<unsigned long long>(profiler.cold_misses()));
+              static_cast<unsigned long long>(profiler.cold_misses()),
+              generate_s);
+  std::printf("trace profiling (old): %8.3f s  (%.2fx kernel speedup)\n",
+              legacy_profile_s, kernel_speedup);
+
+  // Batched cache walk vs the per-access scalar path, over both a
+  // power-of-two L2 and the non-power-of-two 12 MB LLC slice, standalone
+  // and through the hierarchy filter.
+  bool cache_batch_identical = true;
+  {
+    const std::size_t check_len = std::min<std::size_t>(trace.size(), 200'000);
+    const std::span<const sim::LineAddress> lines(trace.data(), check_len);
+    const std::vector<sim::CacheConfig> levels = {
+        {.name = "L2", .size_bytes = 256 << 10, .line_bytes = 64,
+         .associativity = 8},
+        {.name = "LLC", .size_bytes = 12 << 20, .line_bytes = 64,
+         .associativity = 16}};
+    for (const sim::CacheConfig& cfg : levels) {
+      sim::Cache batched(cfg);
+      sim::Cache scalar(cfg);
+      std::vector<std::uint8_t> hits(lines.size());
+      batched.access_batch(lines, hits.data());
+      for (std::size_t i = 0; i < lines.size() && cache_batch_identical;
+           ++i) {
+        cache_batch_identical = scalar.access(lines[i]) == (hits[i] != 0);
+      }
+      cache_batch_identical =
+          cache_batch_identical &&
+          batched.stats().hits == scalar.stats().hits &&
+          batched.stats().misses == scalar.stats().misses;
+      batched.reset_stats();
+      scalar.reset_stats();
+    }
+    sim::CacheHierarchy batched_h(levels);
+    sim::CacheHierarchy scalar_h(levels);
+    std::size_t scalar_dram = 0;
+    for (const sim::LineAddress a : lines) {
+      scalar_dram += scalar_h.access(a) == scalar_h.num_levels() ? 1 : 0;
+    }
+    cache_batch_identical =
+        cache_batch_identical && batched_h.access_batch(lines) == scalar_dram;
+    for (std::size_t l = 0;
+         l < batched_h.num_levels() && cache_batch_identical; ++l) {
+      cache_batch_identical =
+          batched_h.level(l).stats().accesses ==
+              scalar_h.level(l).stats().accesses &&
+          batched_h.level(l).stats().hits == scalar_h.level(l).stats().hits;
+    }
+    batched_h.reset_stats();
+    scalar_h.reset_stats();
+  }
 
   // --- Stage 2: collection campaign (Table V sweep on the 6-core Xeon),
   // serial vs. task-parallel. Each arm gets a fresh simulator so neither
@@ -458,6 +661,23 @@ int main(int argc, char** argv) {
   core::CampaignConfig campaign_config = core::CampaignConfig::paper_defaults();
   if (config.quick)
     campaign_config.pstate_indices = {0, machine.pstates.size() - 1};
+
+  // --sweep-scale=N: clone every target N-1 times under derived names.
+  // Clones share their donor's trace shape, so the sweep grows N-fold in
+  // cells while the profile memo keeps cross-arm MRC work deduplicated.
+  if (config.sweep_scale > 1) {
+    const std::vector<sim::ApplicationSpec> originals = campaign_config.targets;
+    for (std::size_t k = 2; k <= config.sweep_scale; ++k) {
+      for (const sim::ApplicationSpec& app : originals) {
+        sim::ApplicationSpec clone = app;
+        clone.name = app.name + "~" + std::to_string(k);
+        clone.trace.name = clone.name;
+        campaign_config.targets.push_back(std::move(clone));
+      }
+    }
+    std::printf("sweep scale          : %8zu x  (%zu target apps)\n",
+                config.sweep_scale, campaign_config.targets.size());
+  }
 
   sim::MeasurementOptions measurement;
   measurement.seed = config.seed;
@@ -496,18 +716,62 @@ int main(int argc, char** argv) {
   std::printf("campaign (jobs=%zu)   : %8.3f s  (%.2fx vs serial)\n", jobs,
               campaign_s, campaign_speedup);
 
-  bool campaign_identical =
-      campaign.dataset.num_rows() == campaign_serial.dataset.num_rows();
-  for (std::size_t r = 0; campaign_identical &&
-                          r < campaign.dataset.num_rows(); ++r) {
-    campaign_identical =
-        bitwise_equal(campaign.dataset.target(r),
-                      campaign_serial.dataset.target(r)) &&
-        campaign.dataset.tag(r) == campaign_serial.dataset.tag(r);
-    const auto a = campaign.dataset.features(r);
-    const auto b = campaign_serial.dataset.features(r);
-    for (std::size_t c = 0; campaign_identical && c < a.size(); ++c)
-      campaign_identical = bitwise_equal(a[c], b[c]);
+  const bool campaign_identical =
+      datasets_bit_identical(campaign.dataset, campaign_serial.dataset);
+
+  // --- Stage 2a: jobs-scaling curve (--jobs-sweep=1,2,4,8). Each point
+  // re-runs the (scaled) campaign at that jobs value; the profile memo
+  // keeps the MRC work warm across points so the curve isolates
+  // orchestration. Every point must reproduce the serial dataset
+  // bit-for-bit. Each point is the minimum of three runs (fresh simulator
+  // each, so no solve-cache carry-over): a paper-scale campaign is tens of
+  // milliseconds, where one-shot walls are dominated by thread-spawn and
+  // scheduler jitter. Speedups are quoted against the jobs=1 sweep point
+  // when the list includes it (the same min-of-3 protocol on both sides),
+  // falling back to the one-shot serial arm above.
+  struct JobsScalingPoint {
+    std::size_t jobs = 0;
+    double wall_s = 0.0;
+    double speedup_vs_serial = 0.0;
+    bool bit_identical = true;
+  };
+  std::vector<JobsScalingPoint> jobs_scaling;
+  bool jobs_sweep_identical = true;
+  const std::vector<std::size_t> sweep_jobs = parse_jobs_list(config.jobs_sweep);
+  for (const std::size_t j : sweep_jobs) {
+    campaign_config.jobs = j;
+    JobsScalingPoint point;
+    point.jobs = j;
+    point.wall_s = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      sim::AppMrcLibrary sweep_library;
+      sim::Simulator sweep_testbed(machine, &sweep_library, measurement);
+      sweep_library.profile_all(campaign_config.targets);
+      t0 = std::chrono::steady_clock::now();
+      const core::CampaignResult sweep_run =
+          core::run_campaign(sweep_testbed, campaign_config);
+      const double wall = seconds_since(t0);
+      if (rep == 0 || wall < point.wall_s) point.wall_s = wall;
+      if (rep == 0) {
+        point.bit_identical = datasets_bit_identical(sweep_run.dataset,
+                                                     campaign_serial.dataset);
+      }
+    }
+    jobs_sweep_identical = jobs_sweep_identical && point.bit_identical;
+    jobs_scaling.push_back(point);
+  }
+  const auto serial_point =
+      std::find_if(jobs_scaling.begin(), jobs_scaling.end(),
+                   [](const JobsScalingPoint& p) { return p.jobs == 1; });
+  const double sweep_baseline_s =
+      serial_point != jobs_scaling.end() ? serial_point->wall_s
+                                         : campaign_serial_s;
+  for (JobsScalingPoint& point : jobs_scaling) {
+    point.speedup_vs_serial =
+        point.wall_s > 0.0 ? sweep_baseline_s / point.wall_s : 0.0;
+    std::printf("campaign (jobs=%zu sweep): %6.3f s  (%.2fx vs serial, %s)\n",
+                point.jobs, point.wall_s, point.speedup_vs_serial,
+                point.bit_identical ? "bit-identical" : "DIVERGED");
   }
 
   // --- Stage 2b: the 12-model evaluation zoo, serial vs. flattened batch
@@ -705,15 +969,29 @@ int main(int argc, char** argv) {
   gates.push_back({"fast_vs_legacy_test_nrmse_pp",
                    std::abs(fast.test_nrmse - legacy.test_nrmse), 0.25});
 
-  // (e) the task-parallel orchestration layers must be byte-equivalent to
+  // (e) the batched simulation kernels must replay their scalar oracles
+  // bit-for-bit: the run-length-segmented trace batch, the marker-bitmap
+  // profiler vs the Fenwick replica, and the SoA cache walk.
+  gates.push_back({"trace_batch_bit_identical",
+                   trace_batch_identical ? 0.0 : 1.0, 0.0});
+  gates.push_back({"trace_profile_bit_identical",
+                   profile_identical ? 0.0 : 1.0, 0.0});
+  gates.push_back({"cache_batch_bit_identical",
+                   cache_batch_identical ? 0.0 : 1.0, 0.0});
+
+  // (f) the task-parallel orchestration layers must be byte-equivalent to
   // their serial counterparts: the campaign's sequenced collector and the
   // flattened model-zoo batch.
   gates.push_back({"campaign_parallel_bit_identical",
                    campaign_identical ? 0.0 : 1.0, 0.0});
   gates.push_back({"zoo_parallel_bit_identical", zoo_identical ? 0.0 : 1.0,
                    0.0});
+  if (!jobs_scaling.empty()) {
+    gates.push_back({"jobs_sweep_bit_identical",
+                     jobs_sweep_identical ? 0.0 : 1.0, 0.0});
+  }
 
-  // (f) the store round-trip: models reloaded from the zoo bundle must be
+  // (g) the store round-trip: models reloaded from the zoo bundle must be
   // byte-identical to the freshly trained zoo (and nothing retrained).
   gates.push_back({"zoo_warm_start_bit_identical",
                    zoo_warm_identical ? 0.0 : 1.0, 0.0});
@@ -753,6 +1031,13 @@ int main(int argc, char** argv) {
   std::printf("solve cache          : %llu hits / %llu misses (%.1f%%)\n",
               static_cast<unsigned long long>(hits),
               static_cast<unsigned long long>(misses), 100.0 * hit_rate);
+  const std::uint64_t memo_hits =
+      registry.counter("sim_profile_memo_hits_total").value();
+  const std::uint64_t memo_misses =
+      registry.counter("sim_profile_memo_misses_total").value();
+  std::printf("profile memo         : %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(memo_hits),
+              static_cast<unsigned long long>(memo_misses));
 
   std::ofstream os(out_path, std::ios::trunc);
   if (os) {
@@ -763,8 +1048,11 @@ int main(int argc, char** argv) {
        << "  \"nn_iterations\": " << mlp.max_iterations << ",\n"
        << "  \"seed\": " << config.seed << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
+       << "  \"sweep_scale\": " << config.sweep_scale << ",\n"
        << "  \"timings_s\": {\n"
+       << "    \"trace_generate\": " << generate_s << ",\n"
        << "    \"trace_profile\": " << profile_s << ",\n"
+       << "    \"trace_profile_legacy\": " << legacy_profile_s << ",\n"
        << "    \"campaign_serial\": " << campaign_serial_s << ",\n"
        << "    \"campaign_parallel\": " << campaign_s << ",\n"
        << "    \"zoo_serial\": " << zoo_serial_s << ",\n"
@@ -775,7 +1063,17 @@ int main(int argc, char** argv) {
        << "    \"end_to_end_parallel\": " << end_to_end_parallel_s << ",\n"
        << "    \"validation_legacy\": " << legacy_s << ",\n"
        << "    \"validation_fast\": " << fast_s << "\n  },\n"
-       << "  \"campaign_speedup\": " << campaign_speedup << ",\n"
+       << "  \"kernel_speedup\": " << kernel_speedup << ",\n"
+       << "  \"campaign_speedup\": " << campaign_speedup << ",\n";
+    os << "  \"jobs_scaling\": [\n";
+    for (std::size_t i = 0; i < jobs_scaling.size(); ++i) {
+      const JobsScalingPoint& p = jobs_scaling[i];
+      os << "    {\"jobs\": " << p.jobs << ", \"wall_s\": " << p.wall_s
+         << ", \"speedup_vs_serial\": " << p.speedup_vs_serial
+         << ", \"bit_identical\": " << (p.bit_identical ? "true" : "false")
+         << "}" << (i + 1 == jobs_scaling.size() ? "\n" : ",\n");
+    }
+    os << "  ],\n"
        << "  \"zoo_speedup\": " << zoo_speedup << ",\n"
        << "  \"zoo_warm_start_speedup\": " << warm_speedup << ",\n"
        << "  \"zoo_bundle_digest\": \"" << saved.bundle_digest << "\",\n"
@@ -788,6 +1086,8 @@ int main(int argc, char** argv) {
        << ", \"test_nrmse\": " << legacy.test_nrmse << "},\n"
        << "  \"solve_cache\": {\"hits\": " << hits << ", \"misses\": "
        << misses << ", \"hit_rate\": " << hit_rate << "},\n"
+       << "  \"profile_memo\": {\"hits\": " << memo_hits << ", \"misses\": "
+       << memo_misses << "},\n"
        << "  \"attribution\": {\n";
     json_arm(os, "campaign", jobs, campaign_serial_s, campaign_serial_attr,
              campaign_parallel_attr, /*last=*/false);

@@ -59,30 +59,36 @@ double Rng::exponential(double rate) {
 }
 
 std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  return ZipfSampler(n, s)(*this);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
   COLOC_CHECK_MSG(n > 0, "zipf requires n > 0");
-  if (n == 1) return 0;
   // Rejection-inversion sampling (Hörmann & Derflinger) over [1, n],
   // returning 0-based rank. Handles s close to or equal to 1.
-  const double nd = static_cast<double>(n);
-  auto h = [s](double x) {
-    // Integral of x^-s: x^(1-s)/(1-s) for s != 1, log(x) otherwise.
-    if (std::abs(s - 1.0) < 1e-12) return std::log(x);
-    return std::pow(x, 1.0 - s) / (1.0 - s);
-  };
-  auto h_inv = [s](double x) {
-    if (std::abs(s - 1.0) < 1e-12) return std::exp(x);
-    return std::pow((1.0 - s) * x, 1.0 / (1.0 - s));
-  };
-  const double hx0 = h(0.5) - 1.0;  // shifted so h(x)-hx0 covers mass at 1
-  const double hn = h(nd + 0.5);
+  nd_ = static_cast<double>(n);
+  hx0_ = h(0.5) - 1.0;  // shifted so h(x)-hx0 covers mass at 1
+  hn_ = h(nd_ + 0.5);
+}
+
+double ZipfSampler::h(double x) const {
+  // Integral of x^-s: x^(1-s)/(1-s) for s != 1, log(x) otherwise.
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return std::pow(x, 1.0 - s_) / (1.0 - s_);
+}
+
+std::uint64_t ZipfSampler::operator()(Rng& rng) const {
+  if (n_ == 1) return 0;
   for (;;) {
-    const double u = hx0 + uniform() * (hn - hx0);
-    const double x = h_inv(u);
+    const double u = hx0_ + rng.uniform() * (hn_ - hx0_);
+    const double x = std::abs(s_ - 1.0) < 1e-12
+                         ? std::exp(u)
+                         : std::pow((1.0 - s_) * u, 1.0 / (1.0 - s_));
     const std::uint64_t k =
-        static_cast<std::uint64_t>(std::clamp(std::floor(x + 0.5), 1.0, nd));
+        static_cast<std::uint64_t>(std::clamp(std::floor(x + 0.5), 1.0, nd_));
     const double kd = static_cast<double>(k);
     // Accept with probability proportional to the true mass at k.
-    if (u >= h(kd + 0.5) - std::pow(kd, -s)) return k - 1;
+    if (u >= h(kd + 0.5) - std::pow(kd, -s_)) return k - 1;
   }
 }
 

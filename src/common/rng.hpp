@@ -126,4 +126,27 @@ class Rng {
   bool has_spare_normal_ = false;
 };
 
+/// Zipf sampler with the per-distribution constants (two pow() calls)
+/// hoisted out of the draw loop. Rng::zipf(n, s) constructs one of these
+/// per call, so sampler draws are bit-identical to Rng::zipf for the same
+/// generator state — batch kernels that sample many values from one phase
+/// build the sampler once and save the constant recomputation.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one 0-based rank; consumes exactly the uniform() sequence
+  /// Rng::zipf(n, s) would.
+  std::uint64_t operator()(Rng& rng) const;
+
+ private:
+  double h(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double nd_;
+  double hx0_;  // h(0.5) - 1, lower bound of the inversion range
+  double hn_;   // h(n + 0.5), upper bound
+};
+
 }  // namespace coloc

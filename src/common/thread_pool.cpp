@@ -118,18 +118,31 @@ PoolStats ThreadPool::stats() const {
   return s;
 }
 
+void ThreadPool::set_instrument_stride(std::size_t stride) {
+  instrument_stride_.store(stride == 0 ? 1 : stride,
+                           std::memory_order_relaxed);
+}
+
 void ThreadPool::enqueue(std::function<void()> fn) {
+  const std::size_t stride = instrument_stride_.load(std::memory_order_relaxed);
+  const bool instrument =
+      stride <= 1 ||
+      task_seq_.fetch_add(1, std::memory_order_relaxed) % stride == 0;
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     COLOC_CHECK_MSG(!stopping_,
                     "ThreadPool::submit called after shutdown; the task "
                     "would never run");
-    queue_.push(Task{std::move(fn), std::chrono::steady_clock::now(),
-                     obs::current_span_id()});
+    queue_.push(Task{std::move(fn),
+                     instrument ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point{},
+                     instrument ? obs::current_span_id() : 0, instrument});
     depth = queue_.size();
   }
-  PoolMetrics::get().queue_depth.set(static_cast<double>(depth));
+  if (instrument) {
+    PoolMetrics::get().queue_depth.set(static_cast<double>(depth));
+  }
   cv_.notify_one();
 }
 
@@ -164,18 +177,22 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       // Claimed under the lock so quiesce() never observes an empty queue
       // while a popped-but-uncounted task is in flight.
       busy_workers_.fetch_add(1, std::memory_order_relaxed);
-      metrics.queue_depth.set(static_cast<double>(queue_.size()));
+      if (task.instrument) {
+        metrics.queue_depth.set(static_cast<double>(queue_.size()));
+      }
     }
     const auto started = std::chrono::steady_clock::now();
-    metrics.wait_seconds.observe(seconds_between(task.enqueued, started));
-    obs::trace_counter(
-        "pool/busy_workers",
-        static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
-    {
+    if (task.instrument) {
+      metrics.wait_seconds.observe(seconds_between(task.enqueued, started));
+      obs::trace_counter(
+          "pool/busy_workers",
+          static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
       // The task span is parented on the span open at submit time — the
       // cross-thread dependency edge obs::attribution's critical-path
       // pass walks.
       obs::ScopedSpan span("pool/task", "pool", task.submit_span_id);
+      task.fn();
+    } else {
       task.fn();
     }
     const auto finished = std::chrono::steady_clock::now();
@@ -186,8 +203,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
                 .count()),
         std::memory_order_relaxed);
     mine.tasks.fetch_add(1, std::memory_order_relaxed);
-    metrics.run_seconds.observe(seconds_between(started, finished));
     metrics.tasks.inc();
+    if (task.instrument) {
+      metrics.run_seconds.observe(seconds_between(started, finished));
+    }
     {
       // Retired last, under the lock: once quiesce() sees the count hit
       // zero, the task's span and every metric above are already booked.
@@ -195,9 +214,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     }
     idle_cv_.notify_all();
-    obs::trace_counter(
-        "pool/busy_workers",
-        static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
+    if (task.instrument) {
+      obs::trace_counter(
+          "pool/busy_workers",
+          static_cast<double>(busy_workers_.load(std::memory_order_relaxed)));
+    }
   }
 }
 

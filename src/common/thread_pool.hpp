@@ -134,6 +134,15 @@ class ThreadPool {
   /// time of the call are counted as idle up to "now".
   PoolStats stats() const;
 
+  /// Samples the per-task observability extras — queue-wait/exec
+  /// histograms, "pool/task" spans, busy-worker trace counters, the
+  /// queue-depth gauge — so only every stride-th task pays for them.
+  /// Sub-millisecond tasks (coalesced sweep cells) otherwise spend more
+  /// time in bookkeeping than in work. busy/idle/task accounting, future
+  /// semantics and quiesce() remain exact for every task. 0 or 1 restores
+  /// full instrumentation (the default).
+  void set_instrument_stride(std::size_t stride);
+
   /// Enqueues a task; the returned future rethrows any task exception.
   /// Throws coloc::runtime_error if the pool has been shut down — a task
   /// accepted after shutdown would never run.
@@ -175,6 +184,9 @@ class ThreadPool {
     // the worker parents its "pool/task" span on it so exported traces
     // carry the submit -> execute dependency edge.
     std::uint64_t submit_span_id = 0;
+    // False for tasks the instrument stride skipped: the worker runs them
+    // without histograms/spans/trace counters.
+    bool instrument = true;
   };
 
   /// Per-worker accounting. Intervals are booked when they end; an open
@@ -200,6 +212,8 @@ class ThreadPool {
   // (the atomics make WorkerStats immovable).
   std::vector<WorkerStats> worker_stats_;
   std::atomic<int> busy_workers_{0};
+  std::atomic<std::size_t> instrument_stride_{1};
+  std::atomic<std::uint64_t> task_seq_{0};
   std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

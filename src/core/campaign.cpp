@@ -273,26 +273,64 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
   const bool parallel_run =
       jobs > 1 && plans.size() > 1 && !on_worker_thread();
   std::unique_ptr<ThreadPool> workers;
-  if (parallel_run) workers = std::make_unique<ThreadPool>(jobs);
-  const std::size_t window = parallel_run ? jobs * 2 : 0;
+  if (parallel_run) {
+    workers = std::make_unique<ThreadPool>(jobs);
+    // Coalesced cells are sub-millisecond; per-task span/histogram
+    // bookkeeping at that grain costs more than the measurements.
+    workers->set_instrument_stride(8);
+  }
+
+  // Cells are coalesced into contiguous chunks so each pool task amortizes
+  // its submit/retire overhead over many sweep cells. The chunk size is a
+  // pure function of the plan count — NOT of jobs — so the work
+  // decomposition (and with it every stride-sampled metric) is identical
+  // at any --jobs value; outputs stay bit-identical because the commit
+  // seam below is untouched.
+  const std::size_t chunk_cells = parallel_run
+      ? std::clamp<std::size_t>(plans.size() / 64, 1, 64)
+      : 1;
+  const std::size_t num_chunks =
+      (plans.size() + chunk_cells - 1) / chunk_cells;
+  const std::size_t window_chunks = parallel_run ? jobs * 2 : 0;
+
+  // Per-cell spans and timing are stride-sampled on big sweeps (same
+  // stride serial and parallel, so published metrics agree): one observed
+  // cell per stride keeps trace and histogram representative without a
+  // per-cell clock/event flood.
+  const std::size_t span_stride = std::max<std::size_t>(1, plans.size() / 512);
 
   std::vector<std::optional<fault::CellOutcome>> outcomes(plans.size());
   std::vector<double> measure_seconds(plans.size(), 0.0);
-  std::vector<std::future<void>> inflight(plans.size());
-  std::size_t dispatched = 0;
+  std::vector<std::future<void>> inflight(parallel_run ? num_chunks : 0);
+  std::size_t dispatched_chunks = 0;
 
-  auto dispatch_up_to = [&](std::size_t bound) {
-    bound = std::min(bound, plans.size());
-    for (; dispatched < bound; ++dispatched) {
-      const std::size_t d = dispatched;
-      if (!plans[d].needs_measure()) continue;
-      metrics.tasks_queued.inc();
-      inflight[d] = workers->submit([&, d] {
-        const auto start = std::chrono::steady_clock::now();
-        outcomes[d] = measure_plan(source, runner, plans[d]);
-        measure_seconds[d] = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count();
+  auto measure_into = [&](std::size_t d) {
+    if (d % span_stride == 0) {
+      const auto start = std::chrono::steady_clock::now();
+      outcomes[d] = measure_plan(source, runner, plans[d]);
+      measure_seconds[d] = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    } else {
+      outcomes[d] = measure_plan(source, runner, plans[d]);
+    }
+  };
+
+  auto dispatch_chunks_up_to = [&](std::size_t bound) {
+    bound = std::min(bound, num_chunks);
+    for (; dispatched_chunks < bound; ++dispatched_chunks) {
+      const std::size_t begin = dispatched_chunks * chunk_cells;
+      const std::size_t end = std::min(begin + chunk_cells, plans.size());
+      std::size_t measured = 0;
+      for (std::size_t d = begin; d < end; ++d) {
+        if (plans[d].needs_measure()) ++measured;
+      }
+      if (measured == 0) continue;
+      metrics.tasks_queued.inc(measured);
+      inflight[dispatched_chunks] = workers->submit([&, begin, end] {
+        for (std::size_t d = begin; d < end; ++d) {
+          if (plans[d].needs_measure()) measure_into(d);
+        }
       });
     }
   };
@@ -307,13 +345,11 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
         " measured cells (abort_after_cells test hook)");
   };
 
-  // Spans are throttled on big sweeps: one cell span per stride keeps the
-  // trace representative without a per-cell event flood.
-  const std::size_t span_stride = std::max<std::size_t>(1, plans.size() / 512);
-
   try {
     for (std::size_t i = 0; i < plans.size(); ++i) {
-      if (parallel_run) dispatch_up_to(i + 1 + window);
+      if (parallel_run) {
+        dispatch_chunks_up_to(i / chunk_cells + 1 + window_chunks);
+      }
       const CellPlan& plan = plans[i];
       std::optional<obs::ScopedSpan> cell_span;
       if (i % span_stride == 0) cell_span.emplace("campaign/cell", "core");
@@ -336,17 +372,18 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
 
       fault::CellOutcome outcome;
       if (parallel_run) {
-        inflight[i].get();  // rethrows worker-side orchestration failures
-        outcome = std::move(*outcomes[i]);
-        outcomes[i].reset();
+        // First committed cell of a chunk collects the whole chunk; later
+        // cells find the future already consumed.
+        std::future<void>& chunk_future = inflight[i / chunk_cells];
+        if (chunk_future.valid()) {
+          chunk_future.get();  // rethrows worker-side orchestration failures
+        }
       } else {
         metrics.tasks_queued.inc();
-        const auto start = std::chrono::steady_clock::now();
-        outcome = measure_plan(source, runner, plan);
-        measure_seconds[i] = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count();
+        measure_into(i);
       }
+      outcome = std::move(*outcomes[i]);
+      outcomes[i].reset();
       metrics.tasks_completed.inc();
 
       const auto measurement =
@@ -363,7 +400,9 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
         }
         (plan.coapp == nullptr ? metrics.cells_alone : metrics.cells_colocated)
             .inc();
-        metrics.cell_seconds.observe(measure_seconds[i]);
+        if (i % span_stride == 0) {
+          metrics.cell_seconds.observe(measure_seconds[i]);
+        }
       }
       maybe_abort();
     }

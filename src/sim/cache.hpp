@@ -4,9 +4,15 @@
 // (stack_distance.hpp): for any trace, simulating an L-line LRU cache must
 // agree with the MRC evaluated at L. A multi-level hierarchy supports
 // private L1/L2 plus the shared last-level cache of the modeled Xeons.
+//
+// Storage is struct-of-arrays (a tag plane and a last-used plane) so the
+// batched access path can scan a set's tags with SIMD compares; a way with
+// last_used == 0 is invalid (the access clock starts at 1), which also
+// makes victim selection a branch-light argmin over the last-used plane.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,6 +66,15 @@ class Cache {
   /// Accesses a line; returns true on hit. LRU state is updated.
   bool access(LineAddress line);
 
+  /// Accesses a chunk of lines in order — bit-identical LRU state, stats
+  /// and per-line results to calling access() per element, with the set
+  /// indexing hoisted into a precomputed pass and the tag compare / LRU
+  /// victim scan running branch-light (SIMD clones on x86-64). Returns the
+  /// number of hits; when `hits` is non-null it receives one 0/1 byte per
+  /// line (must have lines.size() capacity).
+  std::size_t access_batch(std::span<const LineAddress> lines,
+                           std::uint8_t* hits = nullptr);
+
   /// True if the line is currently resident (no state change).
   bool contains(LineAddress line) const;
 
@@ -74,12 +89,6 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
 
  private:
-  struct Way {
-    LineAddress tag = 0;
-    std::uint64_t last_used = 0;
-    bool valid = false;
-  };
-
   std::size_t set_index(LineAddress line) const {
     // Modulo indexing supports the non-power-of-two set counts common in
     // sliced server LLCs (e.g. 12 MB / 64 B / 16-way = 12288 sets).
@@ -88,10 +97,14 @@ class Cache {
 
   CacheConfig config_;
   std::size_t num_sets_;
-  std::vector<Way> ways_;  // num_sets x associativity, row-major
+  // num_sets x associativity, row-major planes. last_used_ == 0 means the
+  // way is invalid: clock_ is pre-incremented, so live ways are >= 1.
+  std::vector<LineAddress> tags_;
+  std::vector<std::uint64_t> last_used_;
   CacheStats stats_;
   CacheStats published_;  // portion of stats_ already in the registry
   std::uint64_t clock_ = 0;
+  std::vector<std::uint32_t> set_scratch_;  // batch set-index staging
 };
 
 /// An inclusive-of-access hierarchy: each access walks L1 -> L2 -> ... until
@@ -105,6 +118,13 @@ class CacheHierarchy {
   /// Accesses a line; returns the level index that hit, or levels().size()
   /// if it missed everywhere (i.e. went to DRAM).
   std::size_t access(LineAddress line);
+
+  /// Walks a chunk level by level: every line probes L1, the misses (in
+  /// order) probe L2, and so on. Each level sees exactly the access
+  /// subsequence the scalar walk would send it, so states and stats are
+  /// bit-identical at any chunk size. Returns the number of lines that
+  /// missed every level (went to DRAM).
+  std::size_t access_batch(std::span<const LineAddress> lines);
 
   std::size_t num_levels() const { return levels_.size(); }
   const Cache& level(std::size_t i) const { return levels_[i]; }
@@ -120,6 +140,9 @@ class CacheHierarchy {
 
  private:
   std::vector<Cache> levels_;
+  // Reused batch staging: the miss stream filtered down the hierarchy.
+  std::vector<LineAddress> miss_scratch_[2];
+  std::vector<std::uint8_t> hit_scratch_;
 };
 
 }  // namespace coloc::sim

@@ -1,9 +1,12 @@
 #include "sim/stack_distance.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "sim/kernel_clones.hpp"
 
 namespace coloc::sim {
 
@@ -27,10 +30,59 @@ std::int64_t FenwickTree::range_sum(std::size_t lo, std::size_t hi) const {
   return lo == 0 ? upper : upper - prefix_sum(lo - 1);
 }
 
+namespace {
+// Bitmap layout: 512-bit (8-word) blocks, 128 blocks (65536 bits) per
+// superblock. A prefix query sums whole superblocks, then whole blocks
+// inside the last superblock, then whole words inside the last block —
+// three contiguous scans the compiler vectorizes (the widest clone runs
+// them 32/16 lanes at a time).
+constexpr std::size_t kWordsPerBlock = 8;
+constexpr std::size_t kBlocksPerSuper = 128;
+
+COLOC_SIM_KERNEL_CLONES
+std::uint64_t sum_u32(const std::uint32_t* v, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += v[i];
+  return total;
+}
+
+COLOC_SIM_KERNEL_CLONES
+std::uint64_t sum_u16(const std::uint16_t* v, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += v[i];
+  return total;
+}
+
+COLOC_SIM_KERNEL_CLONES
+std::uint64_t popcount_words(const std::uint64_t* v, std::size_t n) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::uint64_t>(std::popcount(v[i]));
+  return total;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
 StackDistanceProfiler::StackDistanceProfiler(std::size_t max_references)
-    : tree_(max_references) {
+    : capacity_(max_references) {
   COLOC_CHECK_MSG(max_references > 0, "profiler needs capacity");
-  last_access_.reserve(1 << 16);
+  COLOC_CHECK_MSG(max_references < kNoPosition,
+                  "profiler capacity exceeds 32-bit timestamp range");
+  bits_.assign((capacity_ + 63) / 64, 0);
+  block_count_.assign((capacity_ + 511) / 512, 0);
+  super_count_.assign((capacity_ + 65535) / 65536, 0);
+  // Sized for the common case (a minority of references are first
+  // touches); grows by rehash when distinct lines outrun it.
+  const std::size_t slots =
+      next_pow2(std::max<std::size_t>(1024, capacity_ / 64));
+  map_keys_.assign(slots, kEmptySlot);
+  map_pos_.assign(slots, kNoPosition);
+  map_mask_ = slots - 1;
 }
 
 void StackDistanceProfiler::set_max_tracked_distance(std::size_t d) {
@@ -39,25 +91,88 @@ void StackDistanceProfiler::set_max_tracked_distance(std::size_t d) {
   max_tracked_ = d;
 }
 
+std::uint64_t StackDistanceProfiler::prefix_popcount(std::size_t index) const {
+  const std::size_t word = index >> 6;
+  const std::size_t block = index >> 9;
+  const std::size_t super = index >> 16;
+  std::uint64_t total = sum_u32(super_count_.data(), super);
+  total += sum_u16(block_count_.data() + super * kBlocksPerSuper,
+                   block - super * kBlocksPerSuper);
+  total += popcount_words(bits_.data() + block * kWordsPerBlock,
+                          word - block * kWordsPerBlock);
+  const std::uint64_t mask = ~std::uint64_t{0} >> (63 - (index & 63));
+  return total + static_cast<std::uint64_t>(std::popcount(bits_[word] & mask));
+}
+
+std::uint32_t* StackDistanceProfiler::find_or_insert(LineAddress line) {
+  if ((map_used_ + 1) * 10 >= (map_mask_ + 1) * 7) grow_map();
+  // Murmur3 finalizer: full-avalanche mixing so linear probing stays short
+  // even on the strided/sequential addresses traces are full of.
+  std::uint64_t h = line;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  std::size_t i = static_cast<std::size_t>(h) & map_mask_;
+  while (map_keys_[i] != kEmptySlot) {
+    if (map_keys_[i] == line) return &map_pos_[i];
+    i = (i + 1) & map_mask_;
+  }
+  map_keys_[i] = line;
+  map_pos_[i] = kNoPosition;
+  ++map_used_;
+  return &map_pos_[i];
+}
+
+void StackDistanceProfiler::grow_map() {
+  const std::size_t new_slots = (map_mask_ + 1) * 2;
+  std::vector<LineAddress> keys(new_slots, kEmptySlot);
+  std::vector<std::uint32_t> pos(new_slots, kNoPosition);
+  const std::size_t new_mask = new_slots - 1;
+  for (std::size_t i = 0; i <= map_mask_; ++i) {
+    if (map_keys_[i] == kEmptySlot) continue;
+    std::uint64_t h = map_keys_[i];
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    std::size_t j = static_cast<std::size_t>(h) & new_mask;
+    while (keys[j] != kEmptySlot) j = (j + 1) & new_mask;
+    keys[j] = map_keys_[i];
+    pos[j] = map_pos_[i];
+  }
+  map_keys_ = std::move(keys);
+  map_pos_ = std::move(pos);
+  map_mask_ = new_mask;
+}
+
 std::uint64_t StackDistanceProfiler::record(LineAddress line) {
-  COLOC_CHECK_MSG(time_ < tree_.size(), "profiler capacity exceeded");
+  COLOC_CHECK_MSG(time_ < capacity_, "profiler capacity exceeded");
+  COLOC_CHECK_MSG(line != kEmptySlot,
+                  "line address ~0 is reserved by the profiler");
   const std::size_t now = static_cast<std::size_t>(time_);
 
   std::uint64_t distance = kColdMiss;
-  auto it = last_access_.find(line);
-  if (it != last_access_.end()) {
-    const std::size_t prev = it->second;
-    // Distinct lines touched strictly between prev and now: each line's
-    // latest access in that window contributes one Fenwick marker.
-    distance = static_cast<std::uint64_t>(
-        now > prev + 1 ? tree_.range_sum(prev + 1, now - 1) : 0);
-    tree_.add(prev, -1);  // the line's marker moves to `now`
-    it->second = now;
+  std::uint32_t* slot = find_or_insert(line);
+  if (*slot != kNoPosition) {
+    const std::size_t prev = *slot;
+    // Every distinct line seen so far keeps one marker at its latest
+    // access, all strictly below `now`. The markers at or below `prev` are
+    // the lines NOT reused inside the window plus this line itself, so the
+    // distinct count inside (prev, now) is cold_ - prefix(prev).
+    distance = cold_ - prefix_popcount(prev);
+    bits_[prev >> 6] &= ~(std::uint64_t{1} << (prev & 63));
+    --block_count_[prev >> 9];
+    --super_count_[prev >> 16];
   } else {
     ++cold_;
-    last_access_.emplace(line, now);
   }
-  tree_.add(now, +1);
+  *slot = static_cast<std::uint32_t>(now);
+  bits_[now >> 6] |= std::uint64_t{1} << (now & 63);
+  ++block_count_[now >> 9];
+  ++super_count_[now >> 16];
   ++time_;
 
   if (distance != kColdMiss) {
@@ -71,15 +186,19 @@ std::uint64_t StackDistanceProfiler::record(LineAddress line) {
   return distance;
 }
 
+void StackDistanceProfiler::record_batch(std::span<const LineAddress> lines) {
+  for (LineAddress a : lines) record(a);
+}
+
 StackDistanceProfiler profile_trace(std::span<const LineAddress> trace) {
   StackDistanceProfiler profiler(trace.size());
-  for (LineAddress a : trace) profiler.record(a);
+  profiler.record_batch(trace);
   return profiler;
 }
 
 std::vector<std::uint64_t> brute_force_stack_distances(
     std::span<const LineAddress> trace) {
-  // Still "brute force" relative to the Fenwick profiler — the distinct
+  // Still "brute force" relative to the streaming profiler — the distinct
   // count rescans the reuse window — but a hash map of last-access
   // positions replaces the backward scan for the previous access, and a
   // hash set replaces the linear-probe distinct count, taking the oracle

@@ -1,8 +1,19 @@
 #include "sim/trace.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace coloc::sim {
+
+namespace {
+obs::Counter& batch_refs_counter() {
+  static obs::Counter& counter =
+      obs::Registry::global().counter("sim_trace_batch_refs_total");
+  return counter;
+}
+}  // namespace
 
 TraceGenerator::TraceGenerator(TraceSpec spec, std::uint64_t seed)
     : spec_(std::move(spec)), rng_(seed) {
@@ -26,13 +37,18 @@ void TraceGenerator::set_horizon(std::size_t references) {
   horizon_ = references;
 }
 
-LineAddress TraceGenerator::next() {
-  // Pick the phase owning the current position in the horizon.
-  const double pos = static_cast<double>(emitted_ % horizon_) /
+std::size_t TraceGenerator::phase_at(std::size_t offset) const {
+  const double pos = static_cast<double>(offset) /
                      static_cast<double>(horizon_) * total_weight_;
   std::size_t phase = 0;
   while (phase + 1 < spec_.phases.size() && pos >= cumulative_weight_[phase])
     ++phase;
+  return phase;
+}
+
+LineAddress TraceGenerator::next() {
+  // Pick the phase owning the current position in the horizon.
+  const std::size_t phase = phase_at(emitted_ % horizon_);
   ++emitted_;
   return sample_from_phase(phase);
 }
@@ -66,10 +82,75 @@ LineAddress TraceGenerator::sample_from_phase(std::size_t phase_index) {
   return base + rng_.uniform_index(p.working_set_lines);
 }
 
+void TraceGenerator::next_batch(std::span<LineAddress> out) {
+  std::size_t produced = 0;
+  while (produced < out.size()) {
+    const std::size_t offset = emitted_ % horizon_;
+    const std::size_t phase = phase_at(offset);
+    // Longest run of consecutive offsets still owned by `phase`. pos is
+    // monotone non-decreasing in the offset (even under rounding), so the
+    // phase index is too, and an exact binary search over phase_at() finds
+    // the boundary with the scalar comparison semantics.
+    std::size_t run = std::min(out.size() - produced, horizon_ - offset);
+    if (phase + 1 < spec_.phases.size() && run > 1) {
+      std::size_t lo = 1, hi = run;  // invariant: phase_at(offset+lo-1)==phase
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo + 1) / 2;
+        if (phase_at(offset + mid - 1) == phase) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+      run = lo;
+    }
+    sample_run(phase, out.subspan(produced, run));
+    emitted_ += run;
+    produced += run;
+  }
+  if (!out.empty()) batch_refs_counter().inc(out.size());
+}
+
+void TraceGenerator::sample_run(std::size_t phase_index,
+                                std::span<LineAddress> out) {
+  const Phase& p = spec_.phases[phase_index];
+  const LineAddress base =
+      static_cast<LineAddress>(phase_index) * spec_.region_stride_lines;
+  const double m_streaming = p.mix.streaming;
+  const double m_strided = p.mix.strided;
+  const double m_hot_cold = p.mix.hot_cold;
+  const double mix_total =
+      p.mix.streaming + p.mix.strided + p.mix.hot_cold + p.mix.pointer;
+  const std::uint64_t ws = p.working_set_lines;
+  const std::size_t stride = p.stride == 0 ? 1 : p.stride;
+  // Zipf inversion bounds are pure functions of (ws, exponent): hoisting
+  // them out of the loop changes nothing about the draws.
+  const ZipfSampler zipf(ws, p.zipf_exponent);
+  std::uint64_t stream_cursor = stream_cursor_[phase_index];
+  std::uint64_t stride_cursor = stride_cursor_[phase_index];
+
+  for (LineAddress& slot : out) {
+    double pick = rng_.uniform() * mix_total;
+    if ((pick -= m_streaming) < 0.0) {
+      slot = base + (stream_cursor % ws);
+      ++stream_cursor;
+    } else if ((pick -= m_strided) < 0.0) {
+      slot = base + ((stride_cursor * stride) % ws);
+      ++stride_cursor;
+    } else if ((pick -= m_hot_cold) < 0.0) {
+      slot = base + zipf(rng_);
+    } else {
+      slot = base + rng_.uniform_index(ws);
+    }
+  }
+
+  stream_cursor_[phase_index] = stream_cursor;
+  stride_cursor_[phase_index] = stride_cursor;
+}
+
 std::vector<LineAddress> TraceGenerator::generate(std::size_t n) {
-  std::vector<LineAddress> trace;
-  trace.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) trace.push_back(next());
+  std::vector<LineAddress> trace(n);
+  next_batch(trace);
   return trace;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,17 +64,31 @@ class TraceGenerator {
   /// memory behaviour is phased across execution.
   LineAddress next();
 
+  /// Fills `out` with the next out.size() addresses — bit-identical to
+  /// calling next() that many times, but the horizon is cut into per-phase
+  /// runs first (binary search on the exact scalar phase-selection
+  /// arithmetic), so the phase divide/scan and every per-phase constant
+  /// (region base, mix weights, zipf bounds, cursors) are hoisted out of
+  /// the per-reference path. RNG draws happen in the identical order.
+  void next_batch(std::span<LineAddress> out);
+
   /// Declares how many references constitute one "execution" so phase
   /// boundaries land proportionally. Defaults to 1M.
   void set_horizon(std::size_t references);
 
-  /// Convenience: materializes a trace of n references.
+  /// Convenience: materializes a trace of n references (via next_batch).
   std::vector<LineAddress> generate(std::size_t n);
 
   const TraceSpec& spec() const { return spec_; }
 
  private:
   LineAddress sample_from_phase(std::size_t phase_index);
+  /// The scalar phase-selection rule for horizon offset `offset` — the
+  /// exact double arithmetic next() uses, shared so run segmentation can
+  /// never disagree with the per-reference path.
+  std::size_t phase_at(std::size_t offset) const;
+  /// Emits `out.size()` references from one phase with hoisted constants.
+  void sample_run(std::size_t phase_index, std::span<LineAddress> out);
 
   TraceSpec spec_;
   Rng rng_;

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <span>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "sim/cache.hpp"
@@ -126,6 +131,52 @@ TEST(StackDistance, MaxTrackedPoolsTail) {
   p.record('z');
   p.record('a');
   EXPECT_EQ(p.beyond_tracked(), 1u);
+}
+
+TEST(StackDistance, RecordBatchMatchesScalarRecord) {
+  TraceSpec spec;
+  spec.name = "batch-equiv";
+  Phase phase;
+  phase.working_set_lines = 512;
+  phase.mix = {.streaming = 0.25, .strided = 0.25, .hot_cold = 0.25,
+               .pointer = 0.25};
+  spec.phases = {phase};
+  TraceGenerator gen(spec, 13);
+  const auto trace = gen.generate(8000);
+
+  StackDistanceProfiler scalar(trace.size());
+  for (const LineAddress a : trace) scalar.record(a);
+
+  StackDistanceProfiler batched(trace.size());
+  const std::size_t chunks[] = {1, 13, 500, 64, 7, 2048};
+  std::size_t done = 0, chunk_index = 0;
+  while (done < trace.size()) {
+    const std::size_t len =
+        std::min(chunks[chunk_index++ % std::size(chunks)],
+                 trace.size() - done);
+    batched.record_batch(
+        std::span<const LineAddress>(trace.data() + done, len));
+    done += len;
+  }
+  EXPECT_EQ(batched.references(), scalar.references());
+  EXPECT_EQ(batched.cold_misses(), scalar.cold_misses());
+  EXPECT_EQ(batched.beyond_tracked(), scalar.beyond_tracked());
+  EXPECT_EQ(batched.histogram(), scalar.histogram());
+}
+
+TEST(StackDistance, ManyDistinctLinesSurviveMapGrowth) {
+  // Enough distinct lines to force several open-addressing map rehashes;
+  // distances must still match the brute-force oracle.
+  coloc::Rng rng(9);
+  std::vector<LineAddress> trace;
+  for (int i = 0; i < 3000; ++i) {
+    trace.push_back(rng.uniform_index(2000) * (1ULL << 26));
+  }
+  const auto expected = brute_force_stack_distances(trace);
+  StackDistanceProfiler p(trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    ASSERT_EQ(p.record(trace[i]), expected[i]) << "at index " << i;
+  }
 }
 
 // The fundamental Mattson property: for a fully-associative LRU cache of

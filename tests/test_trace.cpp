@@ -142,5 +142,85 @@ TEST(Trace, NonpositiveWeightRejected) {
   EXPECT_THROW(TraceGenerator(spec, 1), coloc::runtime_error);
 }
 
+// --- next_batch() must replay the per-reference next() stream exactly:
+// same addresses, same RNG consumption, across every archetype, phase
+// boundary, horizon wrap, and chunking.
+
+TEST(TraceBatch, MatchesScalarForEachArchetype) {
+  const AccessMix mixes[] = {{.streaming = 1.0},
+                             {.strided = 1.0},
+                             {.hot_cold = 1.0},
+                             {.pointer = 1.0}};
+  for (const AccessMix& mix : mixes) {
+    TraceGenerator scalar(single_phase(mix, 512), 21);
+    TraceGenerator batched(single_phase(mix, 512), 21);
+    std::vector<LineAddress> out(2000);
+    batched.next_batch(out);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(scalar.next(), out[i]) << "at index " << i;
+    }
+  }
+}
+
+TraceSpec three_phase_spec() {
+  TraceSpec spec;
+  spec.name = "three-phase";
+  Phase a, b, c;
+  a.working_set_lines = 64;
+  a.mix = {.streaming = 1.0};
+  a.weight = 1.0;
+  b.working_set_lines = 128;
+  b.mix = {.hot_cold = 0.6, .pointer = 0.4};
+  b.weight = 2.0;
+  c.working_set_lines = 32;
+  c.mix = {.streaming = 0.5, .strided = 0.5};
+  c.stride = 5;
+  c.weight = 0.7;
+  spec.phases = {a, b, c};
+  return spec;
+}
+
+TEST(TraceBatch, MatchesScalarAcrossPhaseBoundariesAndWrap) {
+  TraceGenerator scalar(three_phase_spec(), 33);
+  TraceGenerator batched(three_phase_spec(), 33);
+  // A 100-reference horizon with 350 requested references crosses every
+  // phase boundary and wraps the schedule three times inside one batch.
+  scalar.set_horizon(100);
+  batched.set_horizon(100);
+  std::vector<LineAddress> out(350);
+  batched.next_batch(out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(scalar.next(), out[i]) << "at index " << i;
+  }
+}
+
+TEST(TraceBatch, OddChunkSizesReplayIdentically) {
+  TraceGenerator scalar(three_phase_spec(), 55);
+  TraceGenerator batched(three_phase_spec(), 55);
+  scalar.set_horizon(500);
+  batched.set_horizon(500);
+  // Mixed chunk sizes — including 1 and sizes straddling phase runs — must
+  // stitch together into the same stream as the scalar walk.
+  const std::size_t chunks[] = {1, 7, 13, 64, 3, 1, 256, 97, 500, 11};
+  for (const std::size_t len : chunks) {
+    std::vector<LineAddress> out(len);
+    batched.next_batch(out);
+    for (std::size_t i = 0; i < len; ++i) {
+      ASSERT_EQ(scalar.next(), out[i]) << "chunk " << len << " index " << i;
+    }
+  }
+}
+
+TEST(TraceBatch, EmptyBatchIsANoOp) {
+  TraceGenerator scalar(three_phase_spec(), 66);
+  TraceGenerator batched(three_phase_spec(), 66);
+  batched.next_batch({});
+  std::vector<LineAddress> out(50);
+  batched.next_batch(out);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(scalar.next(), out[i]);
+  }
+}
+
 }  // namespace
 }  // namespace coloc::sim
