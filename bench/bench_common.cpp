@@ -44,6 +44,14 @@ HarnessConfig HarnessConfig::from_cli(const CliArgs& args) {
       1, args.get_int("sweep-scale",
                       static_cast<std::int64_t>(config.sweep_scale))));
   config.jobs_sweep = args.get("jobs-sweep", "");
+  const std::int64_t restarts = args.get_int(
+      "restarts", static_cast<std::int64_t>(config.restarts));
+  if (restarts < 1 || restarts > 64) {
+    throw coloc::invalid_argument_error(
+        "--restarts must be in [1, 64], got " + std::to_string(restarts));
+  }
+  config.restarts = static_cast<std::size_t>(restarts);
+  config.no_parallel_restarts = args.get_bool("no-parallel-restarts", false);
   if (!args.program().empty()) {
     const std::string& program = args.program();
     const auto slash = program.find_last_of('/');
@@ -130,7 +138,11 @@ core::EvaluationConfig HarnessConfig::evaluation() const {
   eval.validation.jobs = jobs;
   eval.zoo.mlp.max_iterations = nn_iterations;
   eval.zoo.mlp.weight_decay = 1e-6;
-  eval.zoo.mlp.restarts = 1;
+  eval.zoo.mlp.restarts = restarts;
+  if (no_parallel_restarts) {
+    eval.zoo.mlp.parallel_restarts = false;
+    eval.zoo.mlp.fused_restarts = false;
+  }
   return eval;
 }
 

@@ -7,6 +7,11 @@
 //   --jobs=N            worker threads for campaign + validation
 //                       (0 = auto; overrides COLOC_JOBS; results are
 //                       bit-identical at any value)
+//   --restarts=N        SCG restarts per network fit, in [1, 64] (default
+//                       1; the winner is the lowest-loss restart, fused
+//                       into batched kernels unless disabled)
+//   --no-parallel-restarts  keep restarts off the worker pool AND off the
+//                       fused batched path (the historical serial loop)
 //   --sweep-scale=N     multiply the campaign sweep N-fold (cloned targets)
 //   --jobs-sweep=LIST   comma-separated jobs values to re-run the campaign
 //                       at (bench_perf_pipeline; emits jobs_scaling JSON)
@@ -68,6 +73,13 @@ struct HarnessConfig {
   /// --jobs-sweep=1,2,4,8: re-run the campaign at each listed jobs value
   /// and emit a jobs_scaling curve (bench_perf_pipeline only).
   std::string jobs_sweep;
+  /// --restarts=N: SCG restarts per network fit, validated into [1, 64].
+  /// Per-restart RNG streams make the result independent of how the
+  /// restarts are executed (sequential, pooled, or fused).
+  std::size_t restarts = 1;
+  /// --no-parallel-restarts: pin fits to the historical serial restart
+  /// loop (no pool fan-out, no fused batched kernels).
+  bool no_parallel_restarts = false;
 
   static HarnessConfig from_cli(const CliArgs& args);
 

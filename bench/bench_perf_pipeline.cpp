@@ -25,14 +25,29 @@
 //   gate cache_batch_bit_identical access_batch() == per-access walk
 //   gate solve_cache_bit_identical cached contention solve == cold solve
 //   gate campaign_parallel_bit_identical  parallel campaign == serial sweep
-//   gate zoo_parallel_bit_identical       parallel 12-model zoo == serial
+//   gate zoo_parallel_bit_identical       fused multi-restart zoo on the
+//                                         flat task graph == sequential
+//                                         restart loop, serially scheduled
 //   gate zoo_warm_start_bit_identical     zoo reloaded from the store
 //                                         bundle == freshly trained zoo
+//
+// The zoo race runs at max(--restarts, 4) SCG restarts per MLP fit: the
+// serial arm pins the historical sequential restart loop (fused + pooled
+// restarts disabled, serial validation scheduling) while the parallel arm
+// runs the fused batched kernels on the flat model x partition task graph,
+// so zoo_speedup measures the tentpole (scheduler + fused kernels) and the
+// zoo_parallel_bit_identical gate polices its bit-identity. The JSON also
+// records a "training" block (scg_fused_restarts_total, train_gemm_seconds
+// sum/count, design-memo hits/misses) mirroring the manifest's training
+// attribution section that obs_report --gate consumes.
 //
 // Scale knobs: --sweep-scale=N clones every campaign target N-fold, pushing
 // the sweep to 10-100x the paper's cell count; --jobs-sweep=1,2,4,8 re-runs
 // the (scaled) campaign at each jobs value and emits a "jobs_scaling" curve
-// in the JSON, each run gated bit-identical against the serial dataset.
+// in the JSON, each run gated bit-identical against the serial dataset;
+// --restarts=N raises the restart count everywhere (the zoo race floor
+// stays 4); --no-parallel-restarts pins every fit to the historical serial
+// restart loop, turning the zoo race into a scheduler-only comparison.
 //
 // The warm-start arm times training the full 12-model zoo cold against
 // saving it to a checksummed store bundle (--zoo-out, default
@@ -777,40 +792,57 @@ int main(int argc, char** argv) {
   // --- Stage 2b: the 12-model evaluation zoo, serial vs. flattened batch
   // across the pool. Reduced partition/iteration counts keep the stage
   // proportionate; the equivalence gate is what matters on slow runners.
+  // The race runs at >= 4 SCG restarts per MLP fit so it exercises the
+  // fused multi-restart trainer: the serial arm pins the historical
+  // sequential restart loop (fused + pooled restarts disabled), the
+  // parallel arm runs the batched kernels on the flat task graph. The
+  // bit-identity gate below therefore covers BOTH the scheduler and the
+  // fused kernels. zoo_config itself stays untouched for Stage 2c so the
+  // bundle digest is comparable across runs at default --restarts.
   core::EvaluationConfig zoo_config = config.evaluation();
   zoo_config.validation.partitions = std::min<std::size_t>(config.partitions,
                                                            10);
   zoo_config.zoo.mlp.max_iterations =
       std::min<std::size_t>(config.nn_iterations, 300);
+  const std::size_t zoo_race_restarts =
+      std::max<std::size_t>(config.restarts, 4);
 
-  zoo_config.validation.parallel = false;
+  core::EvaluationConfig zoo_serial_config = zoo_config;
+  zoo_serial_config.zoo.mlp.restarts = zoo_race_restarts;
+  zoo_serial_config.zoo.mlp.fused_restarts = false;
+  zoo_serial_config.zoo.mlp.parallel_restarts = false;
+  zoo_serial_config.validation.parallel = false;
   pre_arm = obs::Registry::global().snapshot();
   arm_start_ns = obs::trace_now_ns();
   t0 = std::chrono::steady_clock::now();
   const core::EvaluationSuite zoo_serial =
-      core::evaluate_model_zoo(campaign.dataset, zoo_config);
+      core::evaluate_model_zoo(campaign.dataset, zoo_serial_config);
   const double zoo_serial_s = seconds_since(t0);
   const ArmAttribution zoo_serial_attr =
       capture_arm("validation", zoo_serial_s, pre_arm, arm_start_ns,
                   obs::trace_now_ns(), "validation");
-  std::printf("model zoo (serial)   : %8.3f s  (12 models, %zu partitions)\n",
-              zoo_serial_s, zoo_config.validation.partitions);
+  std::printf("model zoo (serial)   : %8.3f s  (12 models, %zu partitions, "
+              "%zu restarts)\n",
+              zoo_serial_s, zoo_config.validation.partitions,
+              zoo_race_restarts);
 
-  zoo_config.validation.parallel = true;
-  zoo_config.validation.jobs = jobs;
+  core::EvaluationConfig zoo_parallel_config = zoo_config;
+  zoo_parallel_config.zoo.mlp.restarts = zoo_race_restarts;
+  zoo_parallel_config.validation.parallel = true;
+  zoo_parallel_config.validation.jobs = jobs;
   pre_arm = obs::Registry::global().snapshot();
   arm_start_ns = obs::trace_now_ns();
   t0 = std::chrono::steady_clock::now();
   const core::EvaluationSuite zoo_parallel =
-      core::evaluate_model_zoo(campaign.dataset, zoo_config);
+      core::evaluate_model_zoo(campaign.dataset, zoo_parallel_config);
   const double zoo_parallel_s = seconds_since(t0);
   const ArmAttribution zoo_parallel_attr =
       capture_arm("validation", zoo_parallel_s, pre_arm, arm_start_ns,
                   obs::trace_now_ns(), "validation");
   const double zoo_speedup =
       zoo_parallel_s > 0.0 ? zoo_serial_s / zoo_parallel_s : 0.0;
-  std::printf("model zoo (jobs=%zu)  : %8.3f s  (%.2fx vs serial)\n", jobs,
-              zoo_parallel_s, zoo_speedup);
+  std::printf("model zoo (jobs=%zu fused): %8.3f s  (%.2fx vs serial)\n",
+              jobs, zoo_parallel_s, zoo_speedup);
 
   bool zoo_identical =
       zoo_serial.evaluations.size() == zoo_parallel.evaluations.size();
@@ -1038,6 +1070,21 @@ int main(int argc, char** argv) {
   std::printf("profile memo         : %llu hits / %llu misses\n",
               static_cast<unsigned long long>(memo_hits),
               static_cast<unsigned long long>(memo_misses));
+  const std::uint64_t fused_restarts =
+      registry.counter("scg_fused_restarts_total").value();
+  const obs::Histogram& train_gemm = registry.histogram("train_gemm_seconds");
+  const std::uint64_t design_hits =
+      registry.counter("validation_design_memo_hits_total").value();
+  const std::uint64_t design_misses =
+      registry.counter("validation_design_memo_misses_total").value();
+  std::printf("fused trainer        : %llu fused restarts, %.3f s in batched "
+              "GEMM (%llu calls)\n",
+              static_cast<unsigned long long>(fused_restarts),
+              train_gemm.sum(),
+              static_cast<unsigned long long>(train_gemm.count()));
+  std::printf("design memo          : %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(design_hits),
+              static_cast<unsigned long long>(design_misses));
 
   std::ofstream os(out_path, std::ios::trunc);
   if (os) {
@@ -1049,6 +1096,8 @@ int main(int argc, char** argv) {
        << "  \"seed\": " << config.seed << ",\n"
        << "  \"jobs\": " << jobs << ",\n"
        << "  \"sweep_scale\": " << config.sweep_scale << ",\n"
+       << "  \"restarts\": " << config.restarts << ",\n"
+       << "  \"zoo_race_restarts\": " << zoo_race_restarts << ",\n"
        << "  \"timings_s\": {\n"
        << "    \"trace_generate\": " << generate_s << ",\n"
        << "    \"trace_profile\": " << profile_s << ",\n"
@@ -1088,6 +1137,11 @@ int main(int argc, char** argv) {
        << misses << ", \"hit_rate\": " << hit_rate << "},\n"
        << "  \"profile_memo\": {\"hits\": " << memo_hits << ", \"misses\": "
        << memo_misses << "},\n"
+       << "  \"training\": {\"scg_fused_restarts_total\": " << fused_restarts
+       << ", \"train_gemm_seconds_sum\": " << train_gemm.sum()
+       << ", \"train_gemm_seconds_count\": " << train_gemm.count()
+       << ", \"design_memo_hits\": " << design_hits
+       << ", \"design_memo_misses\": " << design_misses << "},\n"
        << "  \"attribution\": {\n";
     json_arm(os, "campaign", jobs, campaign_serial_s, campaign_serial_attr,
              campaign_parallel_attr, /*last=*/false);

@@ -19,6 +19,12 @@
 //   --jobs=N               worker threads for the campaign + validation
 //                          (0 = auto; overrides COLOC_JOBS; output is
 //                          bit-identical at any value)
+//   --restarts=N           SCG restarts per MLP fit, in [1, 64] (default 1;
+//                          the winner is the lowest-loss restart, trained
+//                          through the fused batched kernels)
+//   --no-parallel-restarts pin fits to the historical serial restart loop
+//                          (no pool fan-out, no fused batched kernels);
+//                          the result is bit-identical either way
 //
 // Robustness flags (see the Robustness section in README.md):
 //   --fault-rate=P         inject measurement faults at rate P (also
@@ -128,6 +134,18 @@ int main(int argc, char** argv) {
 
   core::ModelZooOptions zoo;
   zoo.mlp.max_iterations = 1200;
+  const std::int64_t restarts = args.get_int("restarts", 1);
+  if (restarts < 1 || restarts > 64) {
+    std::fprintf(stderr,
+                 "quickstart: --restarts must be in [1, 64], got %lld\n",
+                 static_cast<long long>(restarts));
+    return 2;
+  }
+  zoo.mlp.restarts = static_cast<std::size_t>(restarts);
+  if (args.get_bool("no-parallel-restarts", false)) {
+    zoo.mlp.parallel_restarts = false;
+    zoo.mlp.fused_restarts = false;
+  }
   const core::ModelId model_id{core::ModelTechnique::kNeuralNetwork,
                                core::FeatureSet::kF};
 

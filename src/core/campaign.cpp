@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <thread>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -272,13 +273,6 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
   // (and quarantine storms) cheap to drain.
   const bool parallel_run =
       jobs > 1 && plans.size() > 1 && !on_worker_thread();
-  std::unique_ptr<ThreadPool> workers;
-  if (parallel_run) {
-    workers = std::make_unique<ThreadPool>(jobs);
-    // Coalesced cells are sub-millisecond; per-task span/histogram
-    // bookkeeping at that grain costs more than the measurements.
-    workers->set_instrument_stride(8);
-  }
 
   // Cells are coalesced into contiguous chunks so each pool task amortizes
   // its submit/retire overhead over many sweep cells. The chunk size is a
@@ -291,7 +285,26 @@ CampaignResult run_campaign(sim::MeasurementSource& source,
       : 1;
   const std::size_t num_chunks =
       (plans.size() + chunk_cells - 1) / chunk_cells;
-  const std::size_t window_chunks = parallel_run ? jobs * 2 : 0;
+
+  // Effective workers are capped at the chunk count and the machine: more
+  // threads than coalesced chunks (or cores) never run anything — they
+  // just add wake-up and context-switch churn, which is exactly the
+  // jobs=8-on-a-small-sweep cliff. The cap is invisible to outputs because
+  // the decomposition above and the commit seam below don't consult it.
+  const std::size_t pool_workers =
+      parallel_run
+          ? std::min({jobs, num_chunks,
+                      std::max<std::size_t>(
+                          1, std::thread::hardware_concurrency())})
+          : 1;
+  std::unique_ptr<ThreadPool> workers;
+  if (parallel_run) {
+    workers = std::make_unique<ThreadPool>(pool_workers);
+    // Coalesced cells are sub-millisecond; per-task span/histogram
+    // bookkeeping at that grain costs more than the measurements.
+    workers->set_instrument_stride(8);
+  }
+  const std::size_t window_chunks = parallel_run ? pool_workers * 2 : 0;
 
   // Per-cell spans and timing are stride-sampled on big sweeps (same
   // stride serial and parallel, so published metrics agree): one observed

@@ -1,9 +1,12 @@
 #include "core/zoo_artifacts.hpp"
 
+#include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace coloc::core {
@@ -67,8 +70,26 @@ TrainedZoo train_full_zoo(const ml::Dataset& dataset,
   COLOC_CHECK_MSG(dataset.num_rows() > 0, "cannot train a zoo on no rows");
   TrainedZoo zoo;
   zoo.ids = ids;
-  for (const ModelId& id : ids) {
-    zoo.models.emplace(id.name(), train_one(dataset, id, options));
+  // Each identity trains independently and deterministically (per-identity
+  // seed salts), so the twelve models fan out over the shared pool as flat
+  // tasks — restart-level parallelism lives inside each fit as the fused
+  // batched kernels, never as a nested pool. Commit stays strictly in ids
+  // order, so the zoo is byte-identical to the historical serial loop.
+  std::vector<ml::RegressorPtr> trained(ids.size());
+  auto train_task = [&](std::size_t i) {
+    trained[i] = train_one(dataset, ids[i], options);
+  };
+  const std::size_t workers =
+      std::min(ids.size(), std::max<std::size_t>(
+                               1, std::thread::hardware_concurrency()));
+  if (workers > 1 && ids.size() > 1 && global_pool().size() > 1 &&
+      !on_worker_thread()) {
+    parallel_for(global_pool(), ids.size(), train_task, 1);
+  } else {
+    for (std::size_t i = 0; i < ids.size(); ++i) train_task(i);
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    zoo.models.emplace(ids[i].name(), std::move(trained[i]));
   }
   return zoo;
 }

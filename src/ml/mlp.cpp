@@ -279,6 +279,12 @@ MlpRegressor MlpRegressor::fit(const linalg::Matrix& x,
   COLOC_CHECK_MSG(x.rows() == y.size(), "row/target count mismatch");
   COLOC_CHECK_MSG(x.rows() >= 2, "MLP needs at least two observations");
 
+  // Default route: the fused batched multi-restart path (bit-identical;
+  // see mlp_fused.cpp). The sequential loop below is kept as the reference
+  // arm — options.fused_restarts = false or COLOC_FUSED_RESTARTS=0 pins it.
+  if (options.fused_restarts && fused_path_enabled())
+    return fit_fused(x, y, options);
+
   linalg::Matrix design = x;
   Standardizer scaler = Standardizer::fit(design);
   scaler.transform(design);

@@ -31,6 +31,13 @@ struct MlpOptions {
   /// either way (per-restart RNG streams; ties broken by lowest restart
   /// index); the flag exists so tests can pin the serial path.
   bool parallel_restarts = true;
+  /// Train all restarts through the fused batched-SCG path: one stacked
+  /// GEMM per layer serves every live restart per iteration, with
+  /// converged restarts masked out of the batch. Bit-identical to the
+  /// sequential restart loop at any restart count (see DESIGN §13); set
+  /// false (or COLOC_FUSED_RESTARTS=0 process-wide) to pin the sequential
+  /// reference path.
+  bool fused_restarts = true;
 };
 
 /// The bare network: packed parameters, forward pass, and the
@@ -81,13 +88,14 @@ class MlpNetwork {
   double loss(const linalg::Matrix& x, std::span<const double> y,
               double weight_decay) const;
 
- private:
   // Packed layout: W1 (hidden x inputs), b1 (hidden), w2 (hidden), b2 (1).
+  // Public so the fused multi-restart trainer can scatter/gather planes.
   std::size_t w1_offset() const { return 0; }
   std::size_t b1_offset() const { return hidden_ * inputs_; }
   std::size_t w2_offset() const { return hidden_ * inputs_ + hidden_; }
   std::size_t b2_offset() const { return hidden_ * inputs_ + 2 * hidden_; }
 
+ private:
   std::size_t inputs_;
   std::size_t hidden_;
   std::vector<double> params_;
@@ -99,6 +107,21 @@ class MlpRegressor final : public Regressor {
  public:
   static MlpRegressor fit(const linalg::Matrix& x, std::span<const double> y,
                           const MlpOptions& options = {});
+
+  /// The fused batched multi-restart trainer: stacks every restart's weight
+  /// plane so each SCG iteration runs one batched GEMM per layer for all
+  /// live restarts, with per-restart early-stop masking and deferred
+  /// backward passes (a rejected step's gradient is never computed).
+  /// Bit-identical to fit() with fused_restarts = false at any restart
+  /// count. fit() routes here by default; exposed so benchmarks and tests
+  /// can race the two paths explicitly.
+  static MlpRegressor fit_fused(const linalg::Matrix& x,
+                                std::span<const double> y,
+                                const MlpOptions& options = {});
+
+  /// Process-wide kill switch for the fused path: false when
+  /// COLOC_FUSED_RESTARTS is set to 0/off/false/no, true otherwise.
+  static bool fused_path_enabled();
 
   double predict(std::span<const double> features) const override;
   /// Batched inference: standardizes the design matrix once and runs the

@@ -51,4 +51,42 @@ ScgResult scg_minimize(const ScgObjective& objective,
                        std::span<const double> initial,
                        const ScgOptions& options = {});
 
+/// Batched objective over `count` independent optimization problems that
+/// share one dimension (the fused multi-restart MLP trainer stacks all
+/// restarts' weight planes so each evaluation is one batched GEMM per
+/// layer). The evaluation is split so the driver can skip gradient work:
+/// SCG discards the gradient of a rejected trial step, and the sigma probe
+/// discards the value, so `forward` caches whatever `backward` needs and
+/// `backward` is only invoked for the subset that actually consumes it.
+struct ScgBatchObjective {
+  std::size_t dimension = 0;
+  std::size_t count = 0;
+  /// Evaluates problems `active` (ascending indices) at rows of `points`
+  /// (count x dimension, row j = problem j's parameters) and writes
+  /// values[j] for each active j. Must cache activations for backward().
+  std::function<void(std::span<const std::size_t> active,
+                     const std::vector<double>& points,
+                     std::span<double> values)>
+      forward;
+  /// Writes the gradient of the latest forward() into rows of `grads`
+  /// (count x dimension) for `active`, which must be a subset of the
+  /// latest forward()'s active list. Rows outside `active` are untouched.
+  std::function<void(std::span<const std::size_t> active,
+                     std::vector<double>& grads)>
+      backward;
+};
+
+/// Lockstep batched SCG: runs `count` independent minimizations in parallel
+/// iterations, evaluating all still-active problems through one batched
+/// forward/backward pair per phase. Every problem's trajectory — each
+/// iterate, the accept/reject sequence, the damping schedule, the recorded
+/// iteration count — is identical to running scg_minimize on it alone,
+/// because each evaluation is a pure function of that problem's own
+/// parameters; converged problems simply leave the active set (early-stop
+/// masking) without perturbing the survivors. `initial` is count x
+/// dimension, row-major.
+std::vector<ScgResult> scg_minimize_batch(const ScgBatchObjective& objective,
+                                          const std::vector<double>& initial,
+                                          const ScgOptions& options = {});
+
 }  // namespace coloc::ml

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
@@ -26,6 +33,8 @@ struct ValidationMetrics {
   obs::Histogram& partition_seconds;
   obs::Gauge& last_test_mpe;
   obs::Counter& rows_skipped;
+  obs::Counter& memo_hits;
+  obs::Counter& memo_misses;
 
   static ValidationMetrics& get() {
     auto& registry = obs::Registry::global();
@@ -38,10 +47,24 @@ struct ValidationMetrics {
         registry.histogram("validation_partition_seconds"),
         registry.gauge("validation_last_test_mpe"),
         registry.counter("validation_rows_skipped_total"),
+        registry.counter("validation_design_memo_hits_total"),
+        registry.counter("validation_design_memo_misses_total"),
     };
     return metrics;
   }
 };
+
+/// False when COLOC_DESIGN_MEMO is set to 0/off/false/no. Re-read on every
+/// batch call (once per repeated_subsampling_validation_batch, never in a
+/// hot loop) so tests can flip the gate in-process — same transparency
+/// discipline as the profile memo: the memo is an invisible optimization,
+/// results are byte-identical with it disabled.
+bool design_memo_enabled() {
+  const char* env = std::getenv("COLOC_DESIGN_MEMO");
+  if (!env) return true;
+  const std::string v(env);
+  return !(v == "0" || v == "off" || v == "false" || v == "no");
+}
 
 std::size_t effective_jobs(const ValidationOptions& options) {
   if (!options.parallel) return 1;
@@ -162,6 +185,24 @@ std::vector<ValidationResult> repeated_subsampling_validation_batch(
   // keeps the trace representative without a per-partition event flood.
   const std::size_t span_stride = std::max<std::size_t>(1, total_tasks / 512);
 
+  // Design-matrix memo, scoped to this batch call: the per-partition seed is
+  // job-independent, so jobs over the same feature columns (e.g. the linear
+  // and MLP arms of one feature set) gather the exact same train/test split
+  // from byte-identical x_full matrices. The memo shares one gathered copy
+  // instead of rebuilding it per job. Keying is EXACT (a byte serialization
+  // of columns + seed + holdout fraction + usable-row count + partition, so
+  // no hash-collision risk); store::digest64 of that key is the displayable
+  // FNV-1a digest. Disable with COLOC_DESIGN_MEMO=0 — results are
+  // byte-identical either way because the gather is deterministic.
+  struct GatheredSplit {
+    SplitIndices split;
+    linalg::Matrix x_train, x_test;
+    std::vector<double> y_train, y_test;
+  };
+  std::mutex memo_mutex;
+  std::unordered_map<std::string, std::shared_ptr<const GatheredSplit>> memo;
+  const bool memo_on = design_memo_enabled();
+
   auto run_task = [&](std::size_t t) {
     const TaskRef ref = tasks[t];
     JobState& state = states[ref.job];
@@ -176,13 +217,49 @@ std::vector<ValidationResult> repeated_subsampling_validation_batch(
     const std::uint64_t seed =
         options.seed * 0x9e3779b97f4a7c15ULL +
         static_cast<std::uint64_t>(ref.partition) * 0x61c88647ULL;
-    SplitIndices split =
-        random_split(usable.size(), options.holdout_fraction, seed);
-
-    const linalg::Matrix x_train = gather_rows(state.x_full, split.train);
-    const std::vector<double> y_train = gather(state.y_full, split.train);
-    const linalg::Matrix x_test = gather_rows(state.x_full, split.test);
-    const std::vector<double> y_test = gather(state.y_full, split.test);
+    std::shared_ptr<const GatheredSplit> gathered;
+    std::string key;
+    if (memo_on) {
+      key.reserve((state.job->columns.size() + 4) * sizeof(std::uint64_t));
+      auto append_u64 = [&key](std::uint64_t v) {
+        key.append(reinterpret_cast<const char*>(&v), sizeof v);
+      };
+      for (std::size_t col : state.job->columns) append_u64(col);
+      append_u64(options.seed);
+      std::uint64_t holdout_bits = 0;
+      std::memcpy(&holdout_bits, &options.holdout_fraction,
+                  sizeof holdout_bits);
+      append_u64(holdout_bits);
+      append_u64(usable.size());
+      append_u64(ref.partition);
+      std::lock_guard<std::mutex> lock(memo_mutex);
+      auto it = memo.find(key);
+      if (it != memo.end()) gathered = it->second;
+    }
+    if (gathered) {
+      metrics.memo_hits.inc();
+    } else {
+      auto fresh = std::make_shared<GatheredSplit>();
+      fresh->split = random_split(usable.size(), options.holdout_fraction, seed);
+      fresh->x_train = gather_rows(state.x_full, fresh->split.train);
+      fresh->y_train = gather(state.y_full, fresh->split.train);
+      fresh->x_test = gather_rows(state.x_full, fresh->split.test);
+      fresh->y_test = gather(state.y_full, fresh->split.test);
+      if (memo_on) {
+        metrics.memo_misses.inc();
+        std::lock_guard<std::mutex> lock(memo_mutex);
+        // First writer wins; a racing duplicate is dropped and both tasks
+        // keep byte-identical copies either way.
+        gathered = memo.emplace(key, fresh).first->second;
+      } else {
+        gathered = fresh;
+      }
+    }
+    const SplitIndices& split = gathered->split;
+    const linalg::Matrix& x_train = gathered->x_train;
+    const std::vector<double>& y_train = gathered->y_train;
+    const linalg::Matrix& x_test = gathered->x_test;
+    const std::vector<double>& y_test = gathered->y_test;
 
     const RegressorPtr model = state.job->factory(x_train, y_train);
     COLOC_CHECK_MSG(model != nullptr, "model factory returned null");
@@ -224,6 +301,13 @@ std::vector<ValidationResult> repeated_subsampling_validation_batch(
   for (const ValidationJob& job : jobs) {
     pool_jobs = std::max(pool_jobs, effective_jobs(job.options));
   }
+  // More workers than tasks (or than cores) only adds wake-up and context-
+  // switch churn — the jobs=8 cliff on small batches. Results are
+  // scheduling-independent (per-partition seeds, in-order reduction), so
+  // capping is invisible to outputs.
+  pool_jobs = std::min(pool_jobs, total_tasks);
+  const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  pool_jobs = std::min(pool_jobs, cores);
   metrics.tasks_queued.inc(total_tasks);
   PoolStats pool_stats;
   if (pool_jobs <= 1 || total_tasks <= 1 || on_worker_thread()) {

@@ -405,6 +405,26 @@ std::string render_report(const BundleData& bundle) {
     }
   }
 
+  if (!m.training.empty()) {
+    os << "\n== training ==\n";
+    for (const TrainingRecord& t : m.training) {
+      os << "  " << t.metric << ": ";
+      if (t.metric.size() > 4 &&
+          t.metric.compare(t.metric.size() - 4, 4, "_sum") == 0) {
+        os << format_seconds(t.value);
+      } else {
+        os << static_cast<std::uint64_t>(t.value);
+      }
+      os << "\n";
+    }
+    const double gemm_sum = m.training_value("train_gemm_seconds_sum");
+    const double gemm_count = m.training_value("train_gemm_seconds_count");
+    if (gemm_sum >= 0.0 && gemm_count > 0.0) {
+      os << "  (mean fused-kernel seconds per fit: "
+         << format_seconds(gemm_sum / gemm_count) << ")\n";
+    }
+  }
+
   os << "\n== task attribution (histograms) ==\n";
   render_histogram_line(os, bundle, "pool_queue_wait_seconds",
                         "queue wait  ");
@@ -467,7 +487,8 @@ DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
      << current.manifest.git_describe << " (" << current.dir << ")\n"
      << "  thresholds: stage wall +" << thresholds.stage_wall_pct
      << "%, queue-wait p99 +" << thresholds.queue_wait_p99_pct
-     << "%, predict p99 +" << thresholds.predict_p99_pct << "%\n";
+     << "%, predict p99 +" << thresholds.predict_p99_pct
+     << "%, train gemm sum +" << thresholds.train_gemm_sum_pct << "%\n";
 
   if (baseline.manifest.metrics_digest == current.manifest.metrics_digest &&
       !baseline.manifest.metrics_digest.empty()) {
@@ -546,6 +567,43 @@ DiffResult diff_bundles(const BundleData& baseline, const BundleData& current,
           " (threshold " + format_pct(thresholds.predict_p99_pct) + ")");
     }
     os << "\n";
+  }
+
+  // Training attribution: the counter union renders ungated (like
+  // recovery), but train_gemm_seconds_sum is gated when both bundles
+  // recorded fused training — a silent fall-back to the sequential path
+  // shows up here as the sum collapsing to absence, and a kernel
+  // regression as the sum growing past the threshold.
+  if (!baseline.manifest.training.empty() ||
+      !current.manifest.training.empty()) {
+    os << "\n== training ==\n";
+    std::vector<std::string> metrics;
+    for (const TrainingRecord& t : baseline.manifest.training) {
+      metrics.push_back(t.metric);
+    }
+    for (const TrainingRecord& t : current.manifest.training) {
+      if (std::find(metrics.begin(), metrics.end(), t.metric) ==
+          metrics.end()) {
+        metrics.push_back(t.metric);
+      }
+    }
+    for (const std::string& metric : metrics) {
+      const double a = baseline.manifest.training_value(metric);
+      const double b = current.manifest.training_value(metric);
+      os << "  " << metric << ": " << (a < 0.0 ? 0.0 : a) << " -> "
+         << (b < 0.0 ? 0.0 : b);
+      if (metric == "train_gemm_seconds_sum" && a > 0.0 && b >= 0.0) {
+        const double pct = pct_change(a, b);
+        os << " (" << format_pct(pct) << ")";
+        if (trips(pct, thresholds.train_gemm_sum_pct)) {
+          os << "  REGRESSION";
+          result.regressions.push_back(
+              "train_gemm_seconds_sum " + format_pct(pct) + " (threshold " +
+              format_pct(thresholds.train_gemm_sum_pct) + ")");
+        }
+      }
+      os << "\n";
+    }
   }
 
   // Recovery counters are not gated, but a diff must make it obvious when

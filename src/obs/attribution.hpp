@@ -154,6 +154,10 @@ struct DiffThresholds {
   /// Regression when placement_predict_seconds p99 grows by at least this
   /// percent — the placement service's query-latency SLO gate.
   double predict_p99_pct = 25.0;
+  /// Regression when the manifest's train_gemm_seconds_sum grows by at
+  /// least this percent — the fused-trainer throughput gate (catches the
+  /// fused path silently falling back as well as kernel regressions).
+  double train_gemm_sum_pct = 25.0;
 };
 
 struct DiffResult {

@@ -89,6 +89,25 @@ constexpr const char* kRecoveryCounters[] = {
     "checkpoint_rows_loaded_total",
 };
 
+/// Training-attribution counters surfaced in the manifest: the fused SCG
+/// trainer's throughput story, so an obs_report diff can police training
+/// regressions (fused path silently off, memo thrashing) from the
+/// manifest alone.
+constexpr const char* kTrainingCounters[] = {
+    "scg_runs_total",
+    "scg_epochs_total",
+    "scg_fused_restarts_total",
+    "validation_design_memo_hits_total",
+    "validation_design_memo_misses_total",
+};
+
+bool is_training_counter(const std::string& name) {
+  for (const char* candidate : kTrainingCounters) {
+    if (name == candidate) return true;
+  }
+  return false;
+}
+
 bool is_recovery_counter(const std::string& name) {
   for (const char* candidate : kRecoveryCounters) {
     if (name == candidate) return true;
@@ -175,6 +194,23 @@ Manifest Manifest::collect(const ManifestInfo& info,
             [](const RecoveryRecord& a, const RecoveryRecord& b) {
               return a.counter < b.counter;
             });
+  for (const MetricSample& s : snapshot.samples) {
+    if (s.kind == MetricKind::kCounter && is_training_counter(s.name)) {
+      if (s.counter_value == 0) continue;  // untrained runs keep it empty
+      m.training.push_back(TrainingRecord{
+          rendered_counter_name(s), static_cast<double>(s.counter_value)});
+    } else if (s.kind == MetricKind::kHistogram &&
+               s.name == "train_gemm_seconds" && s.histogram_count > 0) {
+      m.training.push_back(
+          TrainingRecord{s.name + "_sum", s.histogram_sum});
+      m.training.push_back(TrainingRecord{
+          s.name + "_count", static_cast<double>(s.histogram_count)});
+    }
+  }
+  std::sort(m.training.begin(), m.training.end(),
+            [](const TrainingRecord& a, const TrainingRecord& b) {
+              return a.metric < b.metric;
+            });
   // Fold in the process-global extras; explicit info.extra entries win.
   for (const auto& [k, v] : manifest_extras()) {
     const bool present = std::any_of(
@@ -224,6 +260,15 @@ std::string Manifest::to_json() const {
     first = false;
     os << "{\"counter\":\"" << json_escape(r.counter)
        << "\",\"value\":" << r.value << '}';
+  }
+  os << "],";
+  os << "\"training\":[";
+  first = true;
+  for (const TrainingRecord& t : training) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"metric\":\"" << json_escape(t.metric)
+       << "\",\"value\":" << format_double(t.value) << '}';
   }
   os << "],";
   os << "\"metrics_digest\":\"" << metrics_digest << "\"}";
@@ -311,6 +356,22 @@ Manifest Manifest::from_json_file(const std::string& path) {
       m.recovery.push_back(std::move(record));
     }
   }
+  if (const JsonValue* v = doc.find("training");
+      v != nullptr && v->is_array()) {
+    for (const JsonValue& t : v->array) {
+      if (!t.is_object()) continue;
+      TrainingRecord record;
+      if (const JsonValue* name = t.find("metric");
+          name != nullptr && name->is_string()) {
+        record.metric = name->string;
+      }
+      if (const JsonValue* value = t.find("value");
+          value != nullptr && value->is_number()) {
+        record.value = value->number;
+      }
+      m.training.push_back(std::move(record));
+    }
+  }
   return m;
 }
 
@@ -326,6 +387,13 @@ std::uint64_t Manifest::recovery_value(const std::string& counter) const {
     if (r.counter == counter) return r.value;
   }
   return 0;
+}
+
+double Manifest::training_value(const std::string& metric) const {
+  for (const TrainingRecord& t : training) {
+    if (t.metric == metric) return t.value;
+  }
+  return -1.0;
 }
 
 }  // namespace coloc::obs

@@ -56,6 +56,16 @@ struct RecoveryRecord {
   std::uint64_t value = 0;
 };
 
+/// One training-attribution sample harvested into the manifest: the fused
+/// SCG counters (runs, epochs, fused restarts), the design-memo hit/miss
+/// counters, and the train_gemm_seconds histogram's sum/count. Kept in the
+/// manifest so obs_report can attribute (and gate) training throughput
+/// without re-parsing metrics.json.
+struct TrainingRecord {
+  std::string metric;  // name, or histogram name + "_sum"/"_count"
+  double value = 0.0;
+};
+
 /// Registers a process-global extra key/value recorded into every
 /// subsequently collected manifest (deduplicated by key, last write
 /// wins). Lets deep layers (store, supervisor) annotate the run manifest
@@ -85,6 +95,9 @@ struct Manifest {
   /// retrained, faults injected), sorted by rendered name; empty when the
   /// run saw no recovery activity.
   std::vector<RecoveryRecord> recovery;
+  /// Training attribution (fused SCG + design memo + GEMM seconds), sorted
+  /// by metric name; empty when the run trained nothing.
+  std::vector<TrainingRecord> training;
   /// fnv1a64 of to_json(snapshot) rendered as 16 hex digits.
   std::string metrics_digest;
 
@@ -108,6 +121,9 @@ struct Manifest {
 
   /// Value of one recovery counter (rendered name); 0 when not recorded.
   std::uint64_t recovery_value(const std::string& counter) const;
+
+  /// Value of one training metric; -1 when not recorded.
+  double training_value(const std::string& metric) const;
 };
 
 }  // namespace coloc::obs

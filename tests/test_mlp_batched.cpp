@@ -122,6 +122,71 @@ TEST(MlpBatchedTest, ParallelRestartsMatchSerialRestarts) {
   for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
 }
 
+TEST(MlpBatchedTest, FusedRestartsBitIdenticalToSequential) {
+  // The fused trainer stacks every restart's weight plane into batched
+  // GEMMs; it must reproduce the sequential restart loop bit for bit at
+  // any restart count — including counts past the 8-plane register-chunk
+  // kernel (7 exercises the odd tail, 16 the streaming fallback).
+  Rng rng(113);
+  const linalg::Matrix x = random_matrix(72, 5, rng);
+  std::vector<double> y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    y[r] = std::sin(x(r, 0)) + 0.5 * x(r, 2) * x(r, 4) - x(r, 3);
+
+  for (const std::size_t restarts : {1u, 2u, 7u, 16u}) {
+    SCOPED_TRACE(restarts);
+    MlpOptions sequential;
+    sequential.hidden_units = 6;
+    sequential.max_iterations = 90;
+    sequential.restarts = restarts;
+    sequential.fused_restarts = false;
+    sequential.parallel_restarts = false;
+    MlpOptions fused = sequential;
+    fused.fused_restarts = true;
+
+    const MlpRegressor a = MlpRegressor::fit(x, y, sequential);
+    const MlpRegressor b = MlpRegressor::fit_fused(x, y, fused);
+    ASSERT_EQ(a.training_loss(), b.training_loss());
+    const auto pa = a.network().parameters();
+    const auto pb = b.network().parameters();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i)
+      ASSERT_EQ(pa[i], pb[i]) << "parameter " << i;
+  }
+}
+
+TEST(MlpBatchedTest, FusedEarlyStopMaskingMatchesSequential) {
+  // With a loose gradient tolerance and a generous iteration budget the
+  // restarts converge at different iteration counts, so the fused batch
+  // must mask each restart out as it stops — keeping the survivors'
+  // arithmetic identical to a sequential loop where every restart runs
+  // alone from the start.
+  Rng rng(115);
+  const linalg::Matrix x = random_matrix(50, 3, rng);
+  std::vector<double> y(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    y[r] = 1.0 + 2.0 * x(r, 0) - 0.3 * x(r, 1);
+
+  MlpOptions sequential;
+  sequential.hidden_units = 4;
+  sequential.max_iterations = 4000;
+  sequential.gradient_tolerance = 1e-3;  // loose: restarts stop early
+  sequential.restarts = 5;
+  sequential.fused_restarts = false;
+  sequential.parallel_restarts = false;
+  MlpOptions fused = sequential;
+  fused.fused_restarts = true;
+
+  const MlpRegressor a = MlpRegressor::fit(x, y, sequential);
+  const MlpRegressor b = MlpRegressor::fit_fused(x, y, fused);
+  ASSERT_EQ(a.training_loss(), b.training_loss());
+  const auto pa = a.network().parameters();
+  const auto pb = b.network().parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i)
+    ASSERT_EQ(pa[i], pb[i]) << "parameter " << i;
+}
+
 TEST(MlpBatchedTest, SingleRestartUnchangedByRestartCount) {
   // Restart 0 must draw from Rng(seed) exactly as a restarts=1 fit does,
   // so adding restarts can only ever improve the training loss.

@@ -235,6 +235,39 @@ TEST(Manifest, RoundTripsThroughJsonFile) {
   EXPECT_EQ(read.metrics_digest, written.metrics_digest);
 }
 
+TEST(Manifest, TrainingSectionRoundTripsThroughJsonFile) {
+  obs::Registry registry;
+  registry.counter("scg_runs_total").inc(12);
+  registry.counter("scg_fused_restarts_total").inc(48);
+  registry.counter("validation_design_memo_hits_total").inc(5);
+  auto& gemm = registry.histogram("train_gemm_seconds");
+  gemm.observe(0.25);
+  gemm.observe(0.75);
+
+  obs::ManifestInfo info;
+  info.program = "test_bench";
+  const obs::Manifest written =
+      obs::Manifest::collect(info, registry.snapshot(), 1.0);
+  EXPECT_DOUBLE_EQ(written.training_value("scg_runs_total"), 12.0);
+  EXPECT_DOUBLE_EQ(written.training_value("scg_fused_restarts_total"), 48.0);
+  EXPECT_DOUBLE_EQ(
+      written.training_value("validation_design_memo_hits_total"), 5.0);
+  EXPECT_DOUBLE_EQ(written.training_value("train_gemm_seconds_sum"), 1.0);
+  EXPECT_DOUBLE_EQ(written.training_value("train_gemm_seconds_count"), 2.0);
+  // Zero-valued counters stay out of the section entirely.
+  EXPECT_DOUBLE_EQ(written.training_value("scg_epochs_total"), -1.0);
+
+  const std::string path =
+      testing::TempDir() + "coloc_attribution_training_manifest.json";
+  ASSERT_TRUE(written.write(path));
+  const obs::Manifest read = obs::Manifest::from_json_file(path);
+  ASSERT_EQ(read.training.size(), written.training.size());
+  for (std::size_t i = 0; i < written.training.size(); ++i) {
+    EXPECT_EQ(read.training[i].metric, written.training[i].metric) << i;
+    EXPECT_DOUBLE_EQ(read.training[i].value, written.training[i].value) << i;
+  }
+}
+
 obs::BundleData synthetic_bundle(double campaign_wall_s,
                                  double queue_wait_bound_s) {
   obs::BundleData b;
@@ -287,6 +320,25 @@ TEST(DiffBundles, QueueWaitP99RegressionTrips) {
   ASSERT_EQ(diff.regressions.size(), 1u);
   EXPECT_NE(diff.regressions[0].find("pool_queue_wait_seconds"),
             std::string::npos);
+}
+
+TEST(DiffBundles, TrainGemmSumRegressionTrips) {
+  obs::BundleData baseline = synthetic_bundle(1.0, 1e-3);
+  baseline.manifest.training.push_back({"train_gemm_seconds_sum", 1.0});
+  obs::BundleData current = synthetic_bundle(1.0, 1e-3);
+  current.manifest.training.push_back({"train_gemm_seconds_sum", 1.5});
+  const obs::DiffResult diff = obs::diff_bundles(baseline, current);
+  ASSERT_TRUE(diff.regression);
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_NE(diff.regressions[0].find("train_gemm_seconds_sum"),
+            std::string::npos);
+
+  // Below the default +25% threshold: no trip. Absent sections never gate.
+  obs::BundleData mild = synthetic_bundle(1.0, 1e-3);
+  mild.manifest.training.push_back({"train_gemm_seconds_sum", 1.2});
+  EXPECT_FALSE(obs::diff_bundles(baseline, mild).regression);
+  const obs::BundleData untrained = synthetic_bundle(1.0, 1e-3);
+  EXPECT_FALSE(obs::diff_bundles(untrained, current).regression);
 }
 
 TEST(BundleData, LoadsFromDiskWithoutATrace) {

@@ -14,8 +14,10 @@
 #include "common/thread_pool.hpp"
 #include "core/campaign.hpp"
 #include "core/methodology.hpp"
+#include "core/zoo_artifacts.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "ml/serialization.hpp"
 #include "test_helpers.hpp"
 
 namespace coloc::core {
@@ -213,6 +215,78 @@ TEST(ParallelZoo, AllTwelveModelsIdenticalAcrossJobCounts) {
     EXPECT_EQ(b.result.test_nrmse, a.result.test_nrmse);
     EXPECT_EQ(b.result.test_mpe_stddev, a.result.test_mpe_stddev);
     EXPECT_EQ(b.result.test_nrmse_stddev, a.result.test_nrmse_stddev);
+  }
+}
+
+TEST(ParallelZoo, FusedMultiRestartZooIdenticalToSequentialLoop) {
+  // The bench's zoo race at test scale: the historical sequential restart
+  // loop with serial validation scheduling versus the fused batched
+  // trainer on the flat model x partition task graph with 4 workers.
+  // Every metric of every model must match bit for bit — this is the
+  // tentpole's end-to-end identity guarantee, and under TSan it races
+  // concurrent fused fits against the in-order commit path.
+  const CampaignResult campaign = run_with(1);
+
+  EvaluationConfig sequential_config;
+  sequential_config.validation.partitions = 3;
+  sequential_config.validation.parallel = false;
+  sequential_config.zoo.mlp.max_iterations = 60;
+  sequential_config.zoo.mlp.restarts = 3;
+  sequential_config.zoo.mlp.fused_restarts = false;
+  sequential_config.zoo.mlp.parallel_restarts = false;
+
+  EvaluationConfig fused_config = sequential_config;
+  fused_config.validation.parallel = true;
+  fused_config.validation.jobs = 4;
+  fused_config.zoo.mlp.fused_restarts = true;
+  fused_config.zoo.mlp.parallel_restarts = true;
+
+  const EvaluationSuite sequential =
+      evaluate_model_zoo(campaign.dataset, sequential_config);
+  const EvaluationSuite fused =
+      evaluate_model_zoo(campaign.dataset, fused_config);
+
+  ASSERT_EQ(sequential.evaluations.size(), 12u);
+  ASSERT_EQ(fused.evaluations.size(), sequential.evaluations.size());
+  for (std::size_t i = 0; i < sequential.evaluations.size(); ++i) {
+    const ModelEvaluation& a = sequential.evaluations[i];
+    const ModelEvaluation& b = fused.evaluations[i];
+    SCOPED_TRACE(a.id.name());
+    EXPECT_EQ(b.id.name(), a.id.name());
+    EXPECT_EQ(b.result.train_mpe, a.result.train_mpe);
+    EXPECT_EQ(b.result.test_mpe, a.result.test_mpe);
+    EXPECT_EQ(b.result.train_nrmse, a.result.train_nrmse);
+    EXPECT_EQ(b.result.test_nrmse, a.result.test_nrmse);
+    EXPECT_EQ(b.result.test_mpe_stddev, a.result.test_mpe_stddev);
+    EXPECT_EQ(b.result.test_nrmse_stddev, a.result.test_nrmse_stddev);
+  }
+}
+
+TEST(ParallelZoo, ConcurrentFullZooTrainingIsDeterministic) {
+  // train_full_zoo fans the twelve fits across global_pool() and commits
+  // them strictly in id order; two runs must serialize every model to
+  // identical bytes. Under TSan this is the concurrent-training suite:
+  // workers write disjoint slots while the commit loop reads them only
+  // after the pool joins.
+  const CampaignResult campaign = run_with(1);
+  ml::MlpOptions mlp;
+  mlp.max_iterations = 50;
+  mlp.restarts = 2;
+  ModelZooOptions options;
+  options.mlp = mlp;
+
+  const TrainedZoo first = train_full_zoo(campaign.dataset, options);
+  const TrainedZoo second = train_full_zoo(campaign.dataset, options);
+  ASSERT_EQ(first.models.size(), 12u);
+  ASSERT_EQ(second.models.size(), first.models.size());
+  for (const auto& [name, model] : first.models) {
+    SCOPED_TRACE(name);
+    const auto it = second.models.find(name);
+    ASSERT_NE(it, second.models.end());
+    std::ostringstream a, b;
+    ml::save_model(a, *model);
+    ml::save_model(b, *it->second);
+    EXPECT_EQ(a.str(), b.str());
   }
 }
 

@@ -18,6 +18,9 @@
 //   --predict-p99-pct=N      placement predict-latency p99 threshold
 //                            (default 25; gated only when both bundles
 //                            carry placement_predict_seconds)
+//   --train-gemm-pct=N       fused-trainer train_gemm_seconds_sum threshold
+//                            (default 25; gated only when the baseline
+//                            manifest carries a training section)
 #include <cstdio>
 #include <exception>
 #include <string>
@@ -32,7 +35,8 @@ int usage(const char* program) {
   std::fprintf(
       stderr,
       "usage: %s [--gate] [--stage-wall-pct=N] [--queue-wait-p99-pct=N] "
-      "[--predict-p99-pct=N] BUNDLE_DIR [BASELINE_IS_FIRST_CURRENT_DIR]\n"
+      "[--predict-p99-pct=N] [--train-gemm-pct=N] "
+      "BUNDLE_DIR [BASELINE_IS_FIRST_CURRENT_DIR]\n"
       "  one bundle dir: attribution report\n"
       "  two bundle dirs: baseline-vs-current diff (exit 2 on regression)\n",
       program);
@@ -69,6 +73,8 @@ int main(int argc, char** argv) {
         "queue-wait-p99-pct", thresholds.queue_wait_p99_pct);
     thresholds.predict_p99_pct =
         args.get_double("predict-p99-pct", thresholds.predict_p99_pct);
+    thresholds.train_gemm_sum_pct =
+        args.get_double("train-gemm-pct", thresholds.train_gemm_sum_pct);
 
     const obs::BundleData baseline = obs::BundleData::load(bundles[0]);
     const obs::BundleData current = obs::BundleData::load(bundles[1]);
